@@ -1,0 +1,63 @@
+"""Extension: do customers get what they pay for?
+
+Section 2 motivates the market — influencer status needs followers and
+engagement. The paper measures the services' mechanics and revenue but
+not customer outcomes; the simulation can close the loop: enrolled
+accounts should end the window with more followers and more inbound
+likes than a matched organic baseline.
+"""
+
+from conftest import emit
+
+from repro.analysis.outcomes import customer_vs_organic
+from repro.core.study import INSTA_STAR
+from repro.util.tables import format_table
+
+
+def test_ext_customer_outcomes(benchmark, bench_study, bench_dataset):
+    def run():
+        out = {}
+        for name in (INSTA_STAR, "Hublaagram"):
+            out[name] = customer_vs_organic(
+                bench_study.platform,
+                bench_dataset.attributed[name].customers,
+                bench_study.population.account_ids,
+                bench_dataset.start_tick,
+                bench_dataset.end_tick,
+                bench_study.seeds.fresh(f"outcomes-{name}"),
+            )
+        return out
+
+    results = benchmark.pedantic(run, rounds=2, iterations=1)
+    rows = []
+    for name, (customers, organic) in results.items():
+        rows.append(
+            [
+                name,
+                customers.accounts,
+                customers.median_followers,
+                organic.median_followers,
+                customers.median_inbound_likes,
+                organic.median_inbound_likes,
+            ]
+        )
+    emit(
+        format_table(
+            [
+                "service",
+                "N (each group)",
+                "followers (cust)",
+                "followers (organic)",
+                "inbound likes (cust)",
+                "inbound likes (organic)",
+            ],
+            rows,
+            title="Extension: customer outcomes vs matched organic baseline",
+        )
+    )
+    for name, (customers, organic) in results.items():
+        # the purchased product is visible in the metrics customers buy
+        assert customers.median_inbound_likes > organic.median_inbound_likes
+    insta_customers, insta_organic = results[INSTA_STAR]
+    # reciprocity abuse buys followers too
+    assert insta_customers.median_followers >= insta_organic.median_followers

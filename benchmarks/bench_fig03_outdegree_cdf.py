@@ -1,0 +1,29 @@
+"""Figure 3: CDF of accounts followed (out-degree) — AAS targets vs a
+random sample of accounts receiving actions.
+
+Paper medians: Boostgram targets 684, Insta* targets 554.5, random
+Instagram 465 — i.e. targets follow *more* accounts than the baseline.
+"""
+
+from conftest import emit
+
+from repro.core import experiments as E
+from repro.core import reporting as R
+from repro.core.study import INSTA_STAR
+
+
+def test_fig03_outdegree_cdf(benchmark, bench_study, bench_dataset):
+    result = benchmark.pedantic(
+        E.fig34_target_bias,
+        args=(bench_study, bench_dataset),
+        kwargs={"sample_size": 1000},
+        rounds=2,
+        iterations=1,
+    )
+    emit(R.render_fig34(result))
+    baseline = result["baseline"]["median_out_degree"]
+    assert result["Boostgram"]["median_out_degree"] > baseline
+    assert result[INSTA_STAR]["median_out_degree"] >= baseline * 0.9
+    # CDF series are well-formed and plottable
+    series = result["Boostgram"]["out_cdf"]
+    assert series[0][1] <= series[-1][1] == 1.0

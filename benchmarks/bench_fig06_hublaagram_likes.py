@@ -1,0 +1,36 @@
+"""Figure 6: proportion of Hublaagram likes eligible for a
+countermeasure each day.
+
+Paper shape: Hublaagram only reacts to *blocking*, and only about three
+weeks into the intervention ("perhaps because it had to implement
+blocked like detection") — after which the eligible-like proportion
+drops sharply.
+"""
+
+from conftest import emit
+
+from repro.core import experiments as E
+from repro.core import reporting as R
+
+
+def test_fig06_hublaagram_likes(benchmark, narrow_outcome):
+    result = benchmark.pedantic(
+        E.fig6_hublaagram_likes, args=(narrow_outcome,), rounds=2, iterations=1
+    )
+    emit(R.render_fig6(result))
+    series = result["series"]
+    assert series, "the series must cover the experiment window"
+
+    days_sorted = sorted(series)
+    start = narrow_outcome.start_day
+    # weeks 1-2: no reaction (detection not yet deployed) — eligible
+    # proportion stays materially above zero
+    weeks12 = [series[d] for d in days_sorted if d < start + 14]
+    # final week: after the ~3-week deployment lag the service caps
+    # per-recipient delivery and the eligible share falls
+    final = [series[d] for d in days_sorted if d >= start + 35]
+    assert weeks12 and final
+    early_mean = sum(weeks12) / len(weeks12)
+    late_mean = sum(final) / len(final)
+    assert early_mean > 0.02
+    assert late_mean < early_mean

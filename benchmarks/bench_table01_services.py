@@ -1,0 +1,25 @@
+"""Table 1: services offered to customers of each AAS."""
+
+from conftest import emit
+
+from repro.core import experiments as E
+from repro.core import reporting as R
+
+#: Paper Table 1 reference matrix (like, follow, comment, post, unfollow).
+PAPER_TABLE1 = {
+    "Instalex": (True, True, True, False, True),
+    "Instazood": (True, True, True, True, True),
+    "Boostgram": (True, True, False, True, True),
+    "Hublaagram": (True, True, True, False, False),
+    "Followersgratis": (True, True, False, False, False),
+}
+
+
+def test_table01_services(benchmark, bench_study):
+    rows = benchmark(E.table1_services, bench_study)
+    emit(R.render_table1(rows))
+    measured = {
+        r["service"]: (r["like"], r["follow"], r["comment"], r["post"], r["unfollow"])
+        for r in rows
+    }
+    assert measured == PAPER_TABLE1

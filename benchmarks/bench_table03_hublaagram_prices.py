@@ -1,0 +1,19 @@
+"""Table 3: Hublaagram's price list (quantities scaled for simulation)."""
+
+from conftest import emit
+
+from repro.core import experiments as E
+from repro.core import reporting as R
+
+#: Paper Table 3 prices (USD); quantities are scaled in-simulation but
+#: prices are preserved exactly.
+PAPER_PRICES = [15.0, 10.0, 20.0, 25.0, 20.0, 30.0, 40.0, 70.0]
+
+
+def test_table03_hublaagram_prices(benchmark, bench_study):
+    rows = benchmark(E.table3_hublaagram_pricing, bench_study)
+    emit(R.render_table3(rows))
+    assert [r["cost_usd"] for r in rows] == PAPER_PRICES
+    assert rows[0]["duration"] == "Life"
+    assert sum(1 for r in rows if r["duration"] == "Immediate") == 3
+    assert sum(1 for r in rows if r["duration"] == "Month") == 4

@@ -1,0 +1,16 @@
+"""Table 4: Followersgratis payment options."""
+
+from conftest import emit
+
+from repro.core import experiments as E
+from repro.core import reporting as R
+
+PAPER_PRICES = [3.15, 5.25, 2.10, 5.25]
+
+
+def test_table04_followersgratis_prices(benchmark):
+    rows = benchmark(E.table4_followersgratis_pricing)
+    emit(R.render_table4(rows))
+    assert [r["cost_usd"] for r in rows] == PAPER_PRICES
+    follows_options = [r for r in rows if "follows" in r["description"]]
+    assert len(follows_options) == 2

@@ -1,0 +1,23 @@
+"""Table 7: operating country and observed ASN locations per AAS."""
+
+from conftest import emit
+
+from repro.core import experiments as E
+from repro.core import reporting as R
+from repro.core.study import INSTA_STAR
+
+#: Paper Table 7.
+PAPER = {
+    INSTA_STAR: ("RUS", {"USA"}),
+    "Boostgram": ("USA", {"USA"}),
+    "Hublaagram": ("IDN", {"GBR", "USA"}),
+}
+
+
+def test_table07_locations(benchmark, bench_study, bench_dataset):
+    rows = benchmark(E.table7_locations, bench_study, bench_dataset)
+    emit(R.render_table7(rows))
+    for row in rows:
+        operating, asn_countries = PAPER[row["service"]]
+        assert row["operating_country"] == operating
+        assert set(row["asn_locations"]) == asn_countries

@@ -1,0 +1,39 @@
+"""Table 9: Hublaagram revenue breakdown.
+
+Paper shapes preserved at scale: the one-time no-outbound fee pool is
+substantial; monthly like tiers dominate monthly revenue with the
+second tier (500-1,000 at full scale) the largest; one-time like
+packages are negligible ("reflecting how poor a bargain that option
+is"); ad revenue is dwarfed by service fees.
+"""
+
+from conftest import emit
+
+from repro.core import experiments as E
+from repro.core import reporting as R
+
+
+def test_table09_revenue_hublaagram(benchmark, bench_study, bench_dataset):
+    result = benchmark.pedantic(
+        E.table9_hublaagram_revenue, args=(bench_study, bench_dataset), rounds=2, iterations=1
+    )
+    emit(R.render_table9(result))
+
+    assert result["no_outbound_accounts"] > 0
+    assert result["no_outbound_usd"] == result["no_outbound_accounts"] * 15
+
+    tier_usd = result["monthly_tier_usd"]
+    assert tier_usd, "monthly tiers should be detected"
+    # monthly tiers dominate the monthly total
+    assert sum(tier_usd.values()) > 0.5 * result["monthly_total_usd_high"]
+
+    # one-time like packages are a rounding error (paper: 182 buyers of 1M)
+    assert result["one_time_like_usd"] <= 0.2 * sum(tier_usd.values())
+
+    # ads are dwarfed by service fees (paper: $3.5k-$23k vs ~$875k)
+    assert result["ad_usd_high"] < sum(tier_usd.values())
+    assert result["ad_usd_low"] < result["ad_usd_high"]
+
+    # the CPM band spans paper's $0.60-$4.00 ratio
+    if result["ad_impressions"] > 0:
+        assert result["ad_usd_high"] / max(result["ad_usd_low"], 0.01) <= 7.5

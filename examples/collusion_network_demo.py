@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Inside a collusion network (Sections 3.2, 5.2).
+
+Drives Hublaagram directly: enrolls member accounts, exercises the free
+tier (with its rate limits and pop-under ads), buys the paid products
+(no-outbound fee, one-time like package, monthly tier), and then runs
+the paper's revenue-estimation model against the observable activity —
+comparing it with the service's ground-truth ledger.
+
+Run with:  python examples/collusion_network_demo.py
+"""
+
+from repro.aas.base import ServiceType
+from repro.aas.services import make_hublaagram
+from repro.analysis.revenue import estimate_hublaagram_revenue
+from repro.detection.classifier import AttributedActivity
+from repro.netsim import ASNRegistry, NetworkFabric
+from repro.platform import InstagramPlatform
+from repro.platform.models import ActionType
+from repro.util import SeedSequenceFactory
+
+
+def main() -> None:
+    seeds = SeedSequenceFactory(77)
+    platform = InstagramPlatform()
+    fabric = NetworkFabric(ASNRegistry(), seeds.get("fabric"))
+    service = make_hublaagram(platform, fabric, seeds.get("service"), quantity_scale=0.1)
+
+    print("Enrolling 40 member accounts (credentials handed to the service)...")
+    members = []
+    for i in range(40):
+        account = platform.create_account(f"member{i:02d}", f"pw{i:02d}")
+        for _ in range(5):
+            platform.media.create(account.account_id, 0)
+        service.register_customer(
+            f"member{i:02d}", f"pw{i:02d}", {ActionType.LIKE, ActionType.FOLLOW},
+            trial_ticks=24 * 30,
+        )
+        members.append(account)
+
+    print("\nFree tier: two requests per hour, ads on every visit")
+    requester = members[0]
+    order = service.request_free_service(requester.account_id, ActionType.LIKE)
+    print(f"  free order: {order.quantity} likes (scaled from the paper's ~80)")
+    print(f"  third request this hour: {service.request_free_service(requester.account_id, ActionType.LIKE)}")
+    print(f"  ad impressions so far: {service.ads.impressions}")
+
+    print("\nPaid products:")
+    service.purchase_no_outbound(members[1].account_id)
+    print("  member01 paid the $15 lifetime no-outbound fee")
+    package = service.config.catalog.one_time_packages[0]
+    media = platform.media.media_of(members[2].account_id)[0]
+    service.purchase_one_time_likes(members[2].account_id, package, media.media_id)
+    print(f"  member02 bought {package.likes} one-time likes (${package.cost_cents/100:.0f})")
+    tier = service.config.catalog.monthly_tiers[1]
+    service.purchase_monthly_plan(members[3].account_id, tier)
+    print(
+        f"  member03 subscribed to the {tier.likes_low}-{tier.likes_high}"
+        f" likes/photo monthly tier (${tier.cost_cents/100:.0f})"
+    )
+
+    print("\nRunning the network for 48 hours...")
+    for _ in range(48):
+        service.tick()
+        platform.clock.advance(1)
+
+    print(f"  delivered inbound likes to member00: "
+          f"{sum(1 for r in platform.log.inbound(requester.account_id) if r.action_type is ActionType.LIKE)}")
+    print(f"  one-time post now has {platform.media.like_count(media.media_id)} likes")
+    protected_outbound = platform.log.by_actor(members[1].account_id)
+    print(f"  no-outbound member01 sourced {len(protected_outbound)} actions (should be 0)")
+
+    print("\nRevenue estimation from observable activity (paper Section 5.2):")
+    activity = AttributedActivity(
+        service="Hublaagram",
+        service_type=ServiceType.COLLUSION_NETWORK,
+        records=list(platform.log),
+    )
+    estimate = estimate_hublaagram_revenue(
+        activity,
+        service.config.catalog,
+        free_like_ceiling_per_hour=service.config.free_like_ceiling_per_hour,
+        likes_per_free_request=service.config.likes_per_free_request,
+        follows_per_free_request=service.config.follows_per_free_request,
+        window_days=2,
+    )
+    print(f"  estimated no-outbound accounts: {estimate.no_outbound_accounts}")
+    print(f"  estimated monthly-tier accounts: {estimate.monthly_tier_accounts}")
+    print(f"  estimated ad impressions: {estimate.ad_impressions}")
+    print(f"  ground-truth ledger: ${service.ledger.total_cents()/100:.2f} "
+          f"({len(service.ledger)} payments)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""A textual rendering of an AAS customer control panel (paper Figure 1).
+
+The paper's Figure 1 is a screenshot of Instalex's per-account control
+panel showing cumulative action counts performed on Instagram. This
+example enrolls a customer, runs the automation for a few days, and
+renders the equivalent panel from the service's own records.
+
+Run with:  python examples/control_panel.py
+"""
+
+from repro.aas.services import make_instalex
+from repro.behavior import (
+    OrganicActivityDriver,
+    OrganicPopulation,
+    PopulationConfig,
+    ReciprocityModel,
+    ReciprocityParams,
+)
+from repro.behavior.degree import DegreeDistribution
+from repro.netsim import ASNRegistry, NetworkFabric
+from repro.platform import InstagramPlatform
+from repro.platform.models import ActionStatus, ActionType
+from repro.util import SeedSequenceFactory
+from repro.util.tables import format_table
+from repro.util.timeutils import days
+
+
+def main() -> None:
+    seeds = SeedSequenceFactory(1)
+    platform = InstagramPlatform()
+    fabric = NetworkFabric(ASNRegistry(), seeds.get("fabric"))
+    population = OrganicPopulation.generate(
+        platform,
+        fabric,
+        seeds.get("population"),
+        PopulationConfig(size=350, out_degree=DegreeDistribution(median=14.0)),
+    )
+    service = make_instalex(
+        platform, fabric, seeds.get("svc"), list(population.account_ids), budget_scale=0.4
+    )
+    organic = OrganicActivityDriver(
+        platform,
+        population,
+        ReciprocityModel(ReciprocityParams(), seeds.get("m")),
+        seeds.get("o"),
+    )
+
+    customer = platform.create_account("photo_hopeful", "hunter2")
+    for _ in range(8):
+        platform.media.create(customer.account_id, 0)
+    service.register_customer(
+        "photo_hopeful",
+        "hunter2",
+        {ActionType.LIKE, ActionType.FOLLOW, ActionType.UNFOLLOW},
+        trial_ticks=days(7),
+    )
+
+    print("Running the Instalex trial for 4 days...\n")
+    for _ in range(days(4)):
+        service.tick()
+        organic.tick()
+        platform.clock.advance(1)
+
+    outbound = platform.log.by_actor(customer.account_id)
+    counts = {t: 0 for t in ActionType}
+    for record in outbound:
+        if record.status is not ActionStatus.BLOCKED:
+            counts[record.action_type] += 1
+    inbound = platform.log.inbound(customer.account_id)
+    followers = platform.follower_count(customer.account_id)
+    engagement = platform.engagement_rate(customer.account_id)
+
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["account", "@photo_hopeful"],
+                ["plan", "trial (7 days)"],
+                ["likes performed", counts[ActionType.LIKE]],
+                ["follows performed", counts[ActionType.FOLLOW]],
+                ["unfollows performed", counts[ActionType.UNFOLLOW]],
+                ["comments performed", counts[ActionType.COMMENT]],
+                ["new inbound actions", len(inbound)],
+                ["followers now", followers],
+                ["engagement rate", f"{engagement:.2f}" if engagement else "n/a"],
+            ],
+            title="Instalex control panel — @photo_hopeful",
+        )
+    )
+    print("\n(Compare with the paper's Figure 1 screenshot: the panel is the")
+    print("service bragging about the actions it performed on your behalf.)")
+
+
+if __name__ == "__main__":
+    main()

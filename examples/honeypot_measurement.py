@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Honeypot instrumentation from scratch (Section 4).
+
+Shows the measurement methodology without the Study orchestrator:
+build a platform and population directly, stand up a single reciprocity
+service, register empty and lived-in honeypots for its follow service,
+and measure reciprocation and the lived-in effect by hand.
+
+Run with:  python examples/honeypot_measurement.py
+"""
+
+from repro.aas.services import make_boostgram
+from repro.behavior import (
+    OrganicActivityDriver,
+    OrganicPopulation,
+    PopulationConfig,
+    ReciprocityModel,
+    ReciprocityParams,
+)
+from repro.behavior.degree import DegreeDistribution
+from repro.honeypot import HoneypotFramework, ReciprocationExperiment
+from repro.netsim import ASNRegistry, NetworkFabric
+from repro.platform import InstagramPlatform
+from repro.platform.models import ActionType
+from repro.util import SeedSequenceFactory
+from repro.util.timeutils import days
+
+
+def main() -> None:
+    seeds = SeedSequenceFactory(404)
+    platform = InstagramPlatform()
+    registry = ASNRegistry()
+    fabric = NetworkFabric(registry, seeds.get("fabric"))
+
+    print("Synthesizing an organic population...")
+    population = OrganicPopulation.generate(
+        platform,
+        fabric,
+        seeds.get("population"),
+        PopulationConfig(size=400, out_degree=DegreeDistribution(median=15.0, sigma=1.0)),
+    )
+    print(
+        f"  {len(population)} accounts, median out-degree "
+        f"{population.median_out_degree:.0f}, median in-degree "
+        f"{population.median_in_degree:.0f}"
+    )
+
+    print("\nStanding up one reciprocity-abuse service (Boostgram)...")
+    service = make_boostgram(
+        platform, fabric, seeds.get("service"), list(population.account_ids), budget_scale=0.4
+    )
+    organic = OrganicActivityDriver(
+        platform,
+        population,
+        ReciprocityModel(ReciprocityParams(), seeds.get("reciprocity")),
+        seeds.get("organic"),
+    )
+
+    print("Registering honeypots: 4 empty + 1 lived-in, follow service only...")
+    framework = HoneypotFramework(platform, fabric, seeds.get("honeypots"))
+    for _ in range(5):
+        framework.create_inactive()  # the attribution baseline
+    experiment = ReciprocationExperiment(
+        framework,
+        seeds.get("experiment"),
+        high_profile_pool=population.account_ids[:20],
+    )
+    experiment.register_batch(service, ActionType.FOLLOW, empty=4, lived_in=1)
+
+    print("Running the trial period (3 days)...")
+    for _ in range(days(3)):
+        service.tick()
+        organic.tick()
+        platform.clock.advance(1)
+
+    print(f"\nAttribution baseline quiet: {framework.baseline_is_quiet()}")
+    print("Reciprocation measured from honeypot inbound actions:")
+    for result in experiment.results():
+        print(
+            f"  {result.kind.value:<9} outbound follows={result.outbound_count:4d}  "
+            f"follow-back rate={result.follow_ratio:6.1%}  "
+            f"like-back rate={result.like_ratio:6.1%}"
+        )
+    print(
+        "\n(Expect follow-back rates near the paper's 10-16% band, zero"
+        "\nlike-backs, and the lived-in account at or above the empties.)"
+    )
+
+    print("\nCleaning up: deleting honeypots scrubs their platform footprint.")
+    deleted = experiment.teardown() + framework.delete_all()
+    print(f"  deleted {deleted} honeypot accounts")
+
+
+if __name__ == "__main__":
+    main()

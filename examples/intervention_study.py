@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Intervention experiments: blocking vs delayed removal (Section 6).
+
+Reproduces the paper's central defensive finding at example scale:
+
+* a *synchronous block* is visible to the service — it detects the
+  blocks, drops below the activity threshold, and probes it thereafter;
+* a *delayed removal* undoes the same actions a day later but gives the
+  service nothing to detect, so it keeps operating (and keeps losing
+  its product) indefinitely.
+
+Run with:  python examples/intervention_study.py
+"""
+
+from repro.core import Study, StudyConfig
+from repro.core import experiments as E
+from repro.core import reporting as R
+from repro.core.study import INSTA_STAR
+from repro.interventions.experiment import BroadInterventionPlan, NarrowInterventionPlan
+from repro.platform.models import ActionStatus, ActionType
+
+
+def main() -> None:
+    print("Building the world and measurement pipeline...")
+    study = Study(StudyConfig.tiny(seed=6))
+    study.run_honeypot_phase()
+    study.learn_signatures()
+    study.run_measurement(days_=6)
+
+    print("\nNarrow intervention: one block bin, one delay bin, one control")
+    narrow = study.run_narrow_intervention(
+        NarrowInterventionPlan(duration_days=14), calibration_days=5
+    )
+    print(f"  thresholds frozen over {len(narrow.thresholds)} (ASN, action) pairs")
+    print()
+    print(R.render_fig5(E.fig5_median_follows(narrow, service=INSTA_STAR)))
+
+    removed = sum(
+        1
+        for activity in narrow.attributed.values()
+        for record in activity.records
+        if record.status is ActionStatus.REMOVED
+    )
+    blocked = sum(
+        1
+        for activity in narrow.attributed.values()
+        for record in activity.records
+        if record.status is ActionStatus.BLOCKED
+    )
+    print(f"\n  blocked actions: {blocked}; silently removed follows: {removed}")
+    print("  -> both truncate abuse to the threshold; only blocking is visible")
+
+    print("\nBroad intervention: 90% delayed removal, then 90% blocking")
+    broad = study.run_broad_intervention(
+        BroadInterventionPlan(delay_days=6, block_days=8), calibration_days=5
+    )
+    print()
+    print(R.render_fig7(E.fig7_broad_follows(broad, service=INSTA_STAR)))
+    print(
+        "\n  The delay week passes without any service reaction; the switch"
+        "\n  to blocking is detected within a day and treated accounts"
+        "\n  scale back — the paper's argument for deferred interventions."
+    )
+
+
+if __name__ == "__main__":
+    main()

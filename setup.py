@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The canonical metadata lives in pyproject.toml; this file exists so the
+package installs in environments without the ``wheel`` package (where
+pip's PEP 517 editable path is unavailable and ``setup.py develop`` is
+the fallback).
+"""
+
+from setuptools import setup
+
+setup()

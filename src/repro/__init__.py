@@ -1,0 +1,46 @@
+"""Reproduction of "Following Their Footsteps: Characterizing Account
+Automation Abuse and Defenses" (DeKoven et al., IMC 2018).
+
+Headline API::
+
+    from repro import Study, StudyConfig
+
+    study = Study(StudyConfig.small(seed=42))
+    study.run_honeypot_phase()        # Section 4: Table 5
+    study.learn_signatures()          # Section 5 preamble
+    dataset = study.run_measurement() # Section 5: Tables 6-11, Figs 2-4
+    narrow = study.run_narrow_intervention()  # Section 6.3: Figs 5-6
+    broad = study.run_broad_intervention()    # Section 6.4: Fig 7
+
+Subpackages (see each module's docstring):
+
+``repro.platform``       the Instagram-like platform simulator
+``repro.netsim``         IP/ASN/geo network substrate
+``repro.behavior``       organic population and reciprocity models
+``repro.aas``            the five account automation services
+``repro.honeypot``       instrumented measurement accounts
+``repro.detection``      attribution signatures and customer analytics
+``repro.analysis``       revenue, geography, action-mix, target bias
+``repro.interventions``  thresholds, bins, block/delay experiments
+``repro.core``           the Study orchestrator and experiment functions
+"""
+
+from repro.core.config import ServicePlans, StudyConfig
+from repro.core.study import (
+    EpilogueOutcome,
+    InterventionOutcome,
+    MeasurementDataset,
+    Study,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Study",
+    "StudyConfig",
+    "ServicePlans",
+    "MeasurementDataset",
+    "InterventionOutcome",
+    "EpilogueOutcome",
+    "__version__",
+]

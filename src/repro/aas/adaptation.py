@@ -1,0 +1,86 @@
+"""Post-block infrastructure migration (paper Section 6.4 epilogue).
+
+"Since the services immediately detected blocked actions, all AASs
+eventually moved their like traffic to different ASNs — one of them
+going so far as to use an extensive proxy network to drastically
+increase IP diversity."
+
+:class:`MigrationPolicy` watches a service's throttle states; when an
+action type has been pinned at its floor for long enough, the service
+stands up new exit infrastructure: fresh hosting ASes in new countries,
+or a rotating proxy pool when ``use_proxy_network`` is set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.aas.base import AccountAutomationService
+from repro.netsim.fabric import NetworkFabric
+from repro.netsim.proxies import ProxyPool
+from repro.platform.models import ActionType
+from repro.util.timeutils import days
+
+
+@dataclass
+class MigrationPolicy:
+    """Decides when and how a service relocates its exit traffic."""
+
+    fabric: NetworkFabric
+    rng: np.random.Generator
+    #: blocking must persist this long at the budget floor before migrating
+    patience_ticks: int = days(14)
+    #: candidate countries for new hosting ASes
+    fallback_countries: tuple[str, ...] = ("NLD", "DEU", "SGP", "CAN")
+    #: adopt a many-AS residential proxy pool instead of new hosting ASes
+    use_proxy_network: bool = False
+    proxy_as_count: int = 40
+    proxy_exits_per_as: int = 5
+    #: bookkeeping
+    migrations: list[tuple[int, str]] = field(default_factory=list)
+    _suppressed_since: dict[ActionType, int] = field(default_factory=dict)
+
+    def note_state(self, action_type: ActionType, suppressed_at_floor: bool, tick: int) -> None:
+        """Track how long an action type has been stuck at its floor."""
+        if suppressed_at_floor:
+            self._suppressed_since.setdefault(action_type, tick)
+        else:
+            self._suppressed_since.pop(action_type, None)
+
+    def should_migrate(self, tick: int) -> bool:
+        return any(tick - since >= self.patience_ticks for since in self._suppressed_since.values())
+
+    def migrate(self, service: AccountAutomationService, tick: int) -> str:
+        """Stand up new exits and point the service at them.
+
+        Returns a label describing the migration (for reports/tests).
+        """
+        if self.use_proxy_network:
+            pool = ProxyPool.build(
+                registry=self.fabric.registry,
+                rng=self.rng,
+                as_count=self.proxy_as_count,
+                exits_per_as=self.proxy_exits_per_as,
+                country_pool=list(self.fallback_countries),
+                fingerprint=service.fingerprint,
+                name_prefix=f"{service.name.lower()}-proxy-{len(self.migrations)}",
+            )
+            endpoints = [pool.next_endpoint() for _ in range(len(pool))]
+            label = f"proxy-network({len(pool)} exits, {len(pool.distinct_asns())} ASNs)"
+        else:
+            country = self.fallback_countries[len(self.migrations) % len(self.fallback_countries)]
+            endpoints = [
+                self.fabric.hosting_endpoint(
+                    country,
+                    service.fingerprint,
+                    name=f"{service.name.lower()}-migrated-{len(self.migrations)}",
+                )
+                for _ in range(service.descriptor.endpoints_per_asn)
+            ]
+            label = f"new-hosting({country})"
+        service.replace_endpoints(endpoints)
+        self.migrations.append((tick, label))
+        self._suppressed_since.clear()
+        return label

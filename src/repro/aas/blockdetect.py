@@ -1,0 +1,142 @@
+"""Service-side block detection (paper Section 6.3).
+
+"The service reacts immediately to blocking follows, dropping the number
+of actions below the threshold and probing it thereafter. ... the
+reaction patterns across services strongly suggest that it is an
+automated process; indeed, we found an openly available implementation
+of one of these services with block detection logic."
+
+:class:`BlockDetector` is that logic: it watches per-action-type
+outcomes over a sliding window and reports when the platform is visibly
+blocking. A per-action-type deployment lag models Hublaagram's
+three-week delay before reacting to like blocks ("perhaps because it
+had to implement blocked like detection").
+
+Synchronous blocks are the *only* observable here — delayed removal
+never surfaces, because the service's own request succeeded. That
+asymmetry is the paper's central intervention finding.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+from typing import Deque
+
+from repro.platform.models import ActionType
+from repro.util.timeutils import days
+
+
+@dataclass
+class BlockDetectorConfig:
+    """Detector tuning."""
+
+    #: sliding window over which the blocked fraction is computed
+    window_ticks: int = days(1)
+    #: blocked fraction above which the service concludes it is blocked
+    block_ratio_threshold: float = 0.10
+    #: minimum attempts in the window before the ratio is trusted
+    min_observations: int = 20
+    #: per-action-type lag between first observed block and the detector
+    #: becoming operational (models engineering time to ship detection)
+    deployment_lag_ticks: dict[ActionType, int] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if not 0.0 < self.block_ratio_threshold <= 1.0:
+            raise ValueError("block_ratio_threshold must be in (0, 1]")
+        if self.min_observations < 1:
+            raise ValueError("min_observations must be positive")
+
+
+class BlockDetector:
+    """Sliding-window blocked-fraction detector with deployment lag."""
+
+    def __init__(self, config: BlockDetectorConfig | None = None, enabled: bool = True):
+        self.config = config if config is not None else BlockDetectorConfig()
+        self.enabled = enabled
+        self._events: dict[ActionType, Deque[tuple[int, bool]]] = defaultdict(deque)
+        self._first_block_tick: dict[ActionType, int] = {}
+        self.total_blocks_observed = 0
+
+    def observe(self, action_type: ActionType, blocked: bool, tick: int) -> None:
+        """Feed one attempted action's outcome."""
+        if blocked:
+            self.total_blocks_observed += 1
+            self._first_block_tick.setdefault(action_type, tick)
+        events = self._events[action_type]
+        events.append((tick, blocked))
+        cutoff = tick - self.config.window_ticks
+        while events and events[0][0] <= cutoff:
+            events.popleft()
+
+    def operational(self, action_type: ActionType, tick: int) -> bool:
+        """Whether detection capability for this action type is live."""
+        if not self.enabled:
+            return False
+        first_block = self._first_block_tick.get(action_type)
+        if first_block is None:
+            return False
+        lag = self.config.deployment_lag_ticks.get(action_type, 0)
+        return tick >= first_block + lag
+
+    def blocked_ratio(self, action_type: ActionType, tick: int) -> float:
+        """Blocked fraction in the current window (0.0 with too few samples)."""
+        events = self._events[action_type]
+        cutoff = tick - self.config.window_ticks
+        relevant = [(t, b) for t, b in events if t > cutoff]
+        if len(relevant) < self.config.min_observations:
+            return 0.0
+        return sum(1 for _, b in relevant if b) / len(relevant)
+
+    def blocking_detected(self, action_type: ActionType, tick: int) -> bool:
+        """The service's verdict: is the platform blocking this action type?"""
+        if not self.operational(action_type, tick):
+            return False
+        return self.blocked_ratio(action_type, tick) >= self.config.block_ratio_threshold
+
+
+@dataclass
+class ThrottleState:
+    """Adaptive per-account daily budget for one action type.
+
+    Implements the observed reaction: on detected blocking, back off
+    below the platform's (unknown) threshold; once quiet, creep back up —
+    "dropping the number of actions below the threshold and probing it
+    thereafter" (Section 6.3).
+    """
+
+    base_level: float
+    level: float = -1.0
+    floor: float = 2.0
+    backoff_factor: float = 0.60
+    probe_factor: float = 1.12
+    probe_interval_ticks: int = days(2)
+    last_change_tick: int = -(10**9)
+    suppressed: bool = False
+
+    def __post_init__(self):
+        if self.base_level <= 0:
+            raise ValueError("base_level must be positive")
+        if self.level < 0:
+            self.level = self.base_level
+        if not 0.0 < self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be in (0, 1)")
+        if self.probe_factor <= 1.0:
+            raise ValueError("probe_factor must exceed 1")
+
+    def on_blocking(self, tick: int) -> None:
+        """React to detected blocking: immediate multiplicative backoff."""
+        self.level = max(self.floor, self.level * self.backoff_factor)
+        self.suppressed = True
+        self.last_change_tick = tick
+
+    def on_quiet(self, tick: int) -> None:
+        """No blocking detected; if suppressed, probe back up slowly."""
+        if not self.suppressed:
+            return
+        if tick - self.last_change_tick < self.probe_interval_ticks:
+            return
+        self.level = min(self.base_level, self.level * self.probe_factor)
+        self.last_change_tick = tick
+        if self.level >= self.base_level:
+            self.suppressed = False

@@ -1,0 +1,21 @@
+"""The five studied services (paper Section 3.3).
+
+Factories configure the two engines with each service's published
+capabilities (Table 1), pricing (Tables 2-4), operating/ASN geography
+(Table 7), and behavioural parameters calibrated to the measured action
+mixes (Table 11).
+"""
+
+from repro.aas.services.instalex import make_instalex
+from repro.aas.services.instazood import make_instazood
+from repro.aas.services.boostgram import make_boostgram
+from repro.aas.services.hublaagram import make_hublaagram
+from repro.aas.services.followersgratis import make_followersgratis
+
+__all__ = [
+    "make_instalex",
+    "make_instazood",
+    "make_boostgram",
+    "make_hublaagram",
+    "make_followersgratis",
+]

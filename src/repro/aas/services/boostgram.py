@@ -1,0 +1,63 @@
+"""Boostgram: the premium reciprocity-abuse AAS.
+
+Paper facts encoded here:
+
+* Table 1 — offers like, follow, post, unfollow (no comments).
+* Table 2 — 3-day trial; minimum paid period 30 days at $99 (the most
+  expensive service, and accordingly the lowest conversion rate).
+* Table 7 — operates from the United States out of US ASNs.
+* Table 11 — like-heavy mix (64% likes vs 19% follows).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.aas.adaptation import MigrationPolicy
+from repro.aas.base import ServiceDescriptor, ServiceType
+from repro.aas.pricing import BOOSTGRAM_PRICING
+from repro.aas.reciprocity_service import ReciprocityAbuseService, ReciprocityServiceConfig
+from repro.aas.targeting import ReciprocityTargeting
+from repro.netsim.fabric import NetworkFabric
+from repro.platform.instagram import InstagramPlatform
+from repro.platform.models import AccountId, ActionType
+
+BOOSTGRAM_DESCRIPTOR = ServiceDescriptor(
+    name="Boostgram",
+    service_type=ServiceType.RECIPROCITY_ABUSE,
+    offered_actions=frozenset(
+        {ActionType.LIKE, ActionType.FOLLOW, ActionType.POST, ActionType.UNFOLLOW}
+    ),
+    operating_country="USA",
+    asn_countries=("USA",),
+)
+
+
+def make_boostgram(
+    platform: InstagramPlatform,
+    fabric: NetworkFabric,
+    rng: np.random.Generator,
+    candidates: list[AccountId],
+    migration: MigrationPolicy | None = None,
+    budget_scale: float = 1.0,
+) -> ReciprocityAbuseService:
+    """Build a Boostgram instance targeting ``candidates``."""
+    config = ReciprocityServiceConfig(
+        pricing=BOOSTGRAM_PRICING,
+        daily_budgets={
+            ActionType.LIKE: 100.0 * budget_scale,
+            ActionType.FOLLOW: 30.0 * budget_scale,
+            ActionType.POST: 0.2 * budget_scale,
+        },
+        unfollow_after_days=2,
+    )
+    targeting = ReciprocityTargeting(
+        platform,
+        candidates,
+        rng,
+        out_degree_bias=1.4,
+        in_degree_bias=1.4,
+    )
+    return ReciprocityAbuseService(
+        BOOSTGRAM_DESCRIPTOR, platform, fabric, rng, config, targeting, migration=migration
+    )

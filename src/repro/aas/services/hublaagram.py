@@ -1,0 +1,74 @@
+"""Hublaagram: the large collusion-network AAS.
+
+Paper facts encoded here:
+
+* Table 1 — offers like, follow, comment.
+* Table 3 — the full price list: $15 lifetime no-collusion opt-out,
+  one-time like packages, monthly likes-per-photo tiers.
+* Section 3.3.2 — free likes/follows/comments, rate limited (~80 likes
+  or ~40 follows per request, two requests per hour → the emergent 160
+  likes/hour free ceiling the revenue estimator keys on).
+* Section 5.2 — pop-under ads (PopAds) on every free request, 1-4 per
+  visit.
+* Table 7 — operates from Indonesia; automation exits GBR and USA ASNs.
+* Figure 6 — reacted to like-blocking only after ~3 weeks; modelled as
+  a like-detection deployment lag.
+
+``quantity_scale`` shrinks all action quantities (not prices) so scaled
+simulations can fulfil orders; see HublaagramCatalog.scaled.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.aas.adaptation import MigrationPolicy
+from repro.aas.ads import PopUnderAdNetwork
+from repro.aas.base import ServiceDescriptor, ServiceType
+from repro.aas.blockdetect import BlockDetectorConfig
+from repro.aas.collusion_service import CollusionNetworkService, CollusionServiceConfig
+from repro.aas.pricing import HublaagramCatalog
+from repro.netsim.fabric import NetworkFabric
+from repro.platform.instagram import InstagramPlatform
+from repro.platform.models import ActionType
+from repro.util.timeutils import weeks
+
+HUBLAAGRAM_DESCRIPTOR = ServiceDescriptor(
+    name="Hublaagram",
+    service_type=ServiceType.COLLUSION_NETWORK,
+    offered_actions=frozenset({ActionType.LIKE, ActionType.FOLLOW, ActionType.COMMENT}),
+    operating_country="IDN",
+    asn_countries=("GBR", "USA"),
+)
+
+#: Section 6.3: Hublaagram took about three weeks to react to like blocks.
+LIKE_DETECTION_LAG_TICKS = weeks(3)
+
+
+def make_hublaagram(
+    platform: InstagramPlatform,
+    fabric: NetworkFabric,
+    rng: np.random.Generator,
+    quantity_scale: float = 0.1,
+    ads: PopUnderAdNetwork | None = None,
+    migration: MigrationPolicy | None = None,
+) -> CollusionNetworkService:
+    """Build a Hublaagram instance with quantities scaled for simulation."""
+    catalog = HublaagramCatalog().scaled(quantity_scale)
+    config = CollusionServiceConfig(
+        catalog=catalog,
+        likes_per_free_request=max(1, int(80 * quantity_scale)),
+        follows_per_free_request=max(1, int(40 * quantity_scale)),
+        comments_per_free_request=max(1, int(10 * quantity_scale)),
+        free_requests_per_hour=2,
+        free_delivery_per_hour=max(2, int(80 * quantity_scale)),
+        paid_delivery_per_hour=max(4, int(400 * quantity_scale)),
+        detector=BlockDetectorConfig(
+            deployment_lag_ticks={ActionType.LIKE: LIKE_DETECTION_LAG_TICKS}
+        ),
+    )
+    if ads is None:
+        ads = PopUnderAdNetwork(rng)
+    return CollusionNetworkService(
+        HUBLAAGRAM_DESCRIPTOR, platform, fabric, rng, config, ads=ads, migration=migration
+    )

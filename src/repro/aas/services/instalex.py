@@ -1,0 +1,68 @@
+"""Instalex: reciprocity-abuse AAS, franchise of the Insta* parent.
+
+Paper facts encoded here:
+
+* Table 1 — offers like, follow, comment, unfollow.
+* Table 2 — 7-day trial, minimum paid period 7 days at $3.15.
+* Table 7 — operates from Russia, automation traffic exits US ASNs.
+* Table 5 — anomalously high follow-response-to-likes rate (1.4-1.8%),
+  modelled via a curated recipient pool biased toward users with the
+  hidden follow-on-like trait (see aas.targeting / behavior.profiles).
+* Table 11 — Insta* action mix is follow-heavy with heavy auto-unfollow.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.aas.adaptation import MigrationPolicy
+from repro.aas.base import ServiceDescriptor, ServiceType
+from repro.aas.pricing import INSTALEX_PRICING
+from repro.aas.reciprocity_service import ReciprocityAbuseService, ReciprocityServiceConfig
+from repro.aas.targeting import CuratedPool, ReciprocityTargeting
+from repro.netsim.fabric import NetworkFabric
+from repro.platform.instagram import InstagramPlatform
+from repro.platform.models import AccountId, ActionType
+
+INSTALEX_DESCRIPTOR = ServiceDescriptor(
+    name="Instalex",
+    service_type=ServiceType.RECIPROCITY_ABUSE,
+    offered_actions=frozenset(
+        {ActionType.LIKE, ActionType.FOLLOW, ActionType.COMMENT, ActionType.UNFOLLOW}
+    ),
+    operating_country="RUS",
+    asn_countries=("USA",),
+    stack_variant="aas-insta-parent",
+)
+
+
+def make_instalex(
+    platform: InstagramPlatform,
+    fabric: NetworkFabric,
+    rng: np.random.Generator,
+    candidates: list[AccountId],
+    curated: CuratedPool | None = None,
+    migration: MigrationPolicy | None = None,
+    budget_scale: float = 1.0,
+) -> ReciprocityAbuseService:
+    """Build an Instalex instance targeting ``candidates``."""
+    config = ReciprocityServiceConfig(
+        pricing=INSTALEX_PRICING,
+        daily_budgets={
+            ActionType.LIKE: 48.0 * budget_scale,
+            ActionType.FOLLOW: 60.0 * budget_scale,
+            ActionType.COMMENT: 14.0 * budget_scale,
+        },
+        unfollow_after_days=2,
+    )
+    targeting = ReciprocityTargeting(
+        platform,
+        candidates,
+        rng,
+        out_degree_bias=1.2,
+        in_degree_bias=1.6,
+        curated=curated,
+    )
+    return ReciprocityAbuseService(
+        INSTALEX_DESCRIPTOR, platform, fabric, rng, config, targeting, migration=migration
+    )

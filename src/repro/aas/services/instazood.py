@@ -1,0 +1,74 @@
+"""Instazood: reciprocity-abuse AAS, second franchise of the Insta* parent.
+
+Paper facts encoded here:
+
+* Table 1 — the only service offering all five action types.
+* Table 2 — advertises a 3-day trial but actually delivers 7 days
+  (Section 4.2); minimum paid period 1 day at $0.34.
+* Table 7 — operates from Russia, automation traffic exits US ASNs.
+* Shares the Insta* parent's engineering (same block-detection and
+  targeting posture as Instalex), but runs its own customer base.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.aas.adaptation import MigrationPolicy
+from repro.aas.base import ServiceDescriptor, ServiceType
+from repro.aas.pricing import INSTAZOOD_PRICING
+from repro.aas.reciprocity_service import ReciprocityAbuseService, ReciprocityServiceConfig
+from repro.aas.targeting import CuratedPool, ReciprocityTargeting
+from repro.netsim.fabric import NetworkFabric
+from repro.platform.instagram import InstagramPlatform
+from repro.platform.models import AccountId, ActionType
+
+INSTAZOOD_DESCRIPTOR = ServiceDescriptor(
+    name="Instazood",
+    service_type=ServiceType.RECIPROCITY_ABUSE,
+    offered_actions=frozenset(
+        {
+            ActionType.LIKE,
+            ActionType.FOLLOW,
+            ActionType.COMMENT,
+            ActionType.POST,
+            ActionType.UNFOLLOW,
+        }
+    ),
+    operating_country="RUS",
+    asn_countries=("USA",),
+    stack_variant="aas-insta-parent",
+)
+
+
+def make_instazood(
+    platform: InstagramPlatform,
+    fabric: NetworkFabric,
+    rng: np.random.Generator,
+    candidates: list[AccountId],
+    curated: CuratedPool | None = None,
+    migration: MigrationPolicy | None = None,
+    budget_scale: float = 1.0,
+) -> ReciprocityAbuseService:
+    """Build an Instazood instance targeting ``candidates``."""
+    config = ReciprocityServiceConfig(
+        pricing=INSTAZOOD_PRICING,
+        daily_budgets={
+            ActionType.LIKE: 48.0 * budget_scale,
+            ActionType.FOLLOW: 60.0 * budget_scale,
+            ActionType.COMMENT: 12.0 * budget_scale,
+            ActionType.POST: 0.3 * budget_scale,
+        },
+        unfollow_after_days=2,
+    )
+    targeting = ReciprocityTargeting(
+        platform,
+        candidates,
+        rng,
+        out_degree_bias=1.2,
+        in_degree_bias=1.6,
+        curated=curated,
+    )
+    return ReciprocityAbuseService(
+        INSTAZOOD_DESCRIPTOR, platform, fabric, rng, config, targeting, migration=migration
+    )

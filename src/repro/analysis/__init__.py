@@ -1,0 +1,41 @@
+"""Business analyses (paper Section 5).
+
+* :mod:`repro.analysis.revenue` — the paper's revenue estimation models
+  (Tables 8-10): activity-based paid-day accounting for reciprocity
+  AASs, and Hublaagram's service-specific accounting (no-outbound fees,
+  free-ceiling-based paid-like detection, monthly tier mapping, CPM ad
+  band).
+* :mod:`repro.analysis.geography` — customer location shares (Figure 2).
+* :mod:`repro.analysis.actions_mix` — action-type proportions (Table 11).
+* :mod:`repro.analysis.target_bias` — targeted vs random account degree
+  CDFs (Figures 3-4).
+"""
+
+from repro.analysis.revenue import (
+    HublaagramRevenueEstimate,
+    ReciprocityRevenueEstimate,
+    estimate_hublaagram_revenue,
+    estimate_reciprocity_revenue,
+)
+from repro.analysis.geography import country_shares
+from repro.analysis.actions_mix import action_mix
+from repro.analysis.target_bias import degree_cdfs, sample_receiving_accounts, sample_targeted_accounts
+from repro.analysis.outcomes import OutcomeSummary, customer_vs_organic, summarize_outcomes
+from repro.analysis.collusion_structure import CollusionStructure, analyze_structure
+
+__all__ = [
+    "OutcomeSummary",
+    "customer_vs_organic",
+    "summarize_outcomes",
+    "CollusionStructure",
+    "analyze_structure",
+    "ReciprocityRevenueEstimate",
+    "HublaagramRevenueEstimate",
+    "estimate_reciprocity_revenue",
+    "estimate_hublaagram_revenue",
+    "country_shares",
+    "action_mix",
+    "degree_cdfs",
+    "sample_targeted_accounts",
+    "sample_receiving_accounts",
+]

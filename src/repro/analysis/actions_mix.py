@@ -1,0 +1,36 @@
+"""Action-type proportions per service (paper Table 11)."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.detection.classifier import AttributedActivity
+from repro.platform.models import ActionStatus, ActionType
+
+#: The action types Table 11 reports (posts are "infrequent" and folded
+#: out of the paper's table; we report them when present).
+MIX_TYPES = (
+    ActionType.LIKE,
+    ActionType.FOLLOW,
+    ActionType.COMMENT,
+    ActionType.UNFOLLOW,
+    ActionType.POST,
+)
+
+
+def action_mix(activity: AttributedActivity, include_blocked: bool = True) -> dict[ActionType, float]:
+    """Normalized action-type shares for one service's activity.
+
+    The paper normalizes "by the total number [of] actions performed by
+    each service"; blocked attempts still represent attempted service
+    activity and are included by default.
+    """
+    counts: Counter = Counter()
+    for record in activity.records:
+        if not include_blocked and record.status is ActionStatus.BLOCKED:
+            continue
+        counts[record.action_type] += 1
+    total = sum(counts.values())
+    if total == 0:
+        return {action_type: 0.0 for action_type in MIX_TYPES}
+    return {action_type: counts.get(action_type, 0) / total for action_type in MIX_TYPES}

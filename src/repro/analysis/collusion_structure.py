@@ -1,0 +1,63 @@
+"""Collusion-network structure analysis.
+
+Section 3.2 likens a collusion network to a mix network: every customer
+account both sources and receives actions inside the network. This
+module quantifies that structure from attributed activity:
+
+* the **in-network fraction** — how much of the service's traffic stays
+  between its own customers (near 1.0 for a collusion network, near 0
+  for reciprocity abuse, whose targets are outsiders);
+* **source/recipient balance** — participating accounts both give and
+  receive (the laundering property);
+* the induced action-graph **reciprocity** — how often A->B traffic is
+  answered by B->A inside the network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.detection.classifier import AttributedActivity
+from repro.platform.models import ActionStatus
+
+
+@dataclass(frozen=True)
+class CollusionStructure:
+    """Structural metrics of one service's attributed action graph."""
+
+    service: str
+    actions: int
+    in_network_fraction: float
+    #: fraction of participants that both sourced and received actions
+    dual_role_fraction: float
+    #: fraction of in-network edges A->B with a matching B->A edge
+    edge_reciprocity: float
+
+
+def analyze_structure(activity: AttributedActivity) -> CollusionStructure:
+    """Compute mix-network metrics over a service's delivered actions."""
+    customers = activity.customers
+    sources: set = set()
+    recipients: set = set()
+    edges: set[tuple] = set()
+    delivered = 0
+    in_network = 0
+    for record in activity.records:
+        if record.status is ActionStatus.BLOCKED or record.target_account is None:
+            continue
+        delivered += 1
+        sources.add(record.actor)
+        recipients.add(record.target_account)
+        if record.target_account in customers and record.actor in customers:
+            in_network += 1
+            edges.add((record.actor, record.target_account))
+    participants = sources | recipients
+    dual = sources & recipients
+    reciprocated = sum(1 for a, b in edges if (b, a) in edges)
+    return CollusionStructure(
+        service=activity.service,
+        actions=delivered,
+        in_network_fraction=in_network / delivered if delivered else 0.0,
+        dual_role_fraction=len(dual) / len(participants) if participants else 0.0,
+        edge_reciprocity=reciprocated / len(edges) if edges else 0.0,
+    )

@@ -1,0 +1,36 @@
+"""Customer-location shares (paper Figure 2).
+
+"Figure 2 shows the countries that account for 5% or more of the user
+population. ... 'OTHER' includes all countries that contribute less than
+5% to the total distribution."
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+
+def country_shares(counts: Counter, threshold: float = 0.05) -> list[tuple[str, float]]:
+    """Collapse a country Counter into Figure 2's >=threshold bars.
+
+    Returns (country, share) pairs sorted by descending share, with an
+    aggregated "OTHER" bucket for the sub-threshold tail. Countries the
+    scenario already labels "OTHER" fold into the same bucket.
+    """
+    if not 0.0 < threshold < 1.0:
+        raise ValueError("threshold must be in (0, 1)")
+    total = sum(counts.values())
+    if total == 0:
+        return []
+    shares: dict[str, float] = {}
+    other = 0.0
+    for country, count in counts.items():
+        share = count / total
+        if country.upper() == "OTHER" or share < threshold:
+            other += share
+        else:
+            shares[country.upper()] = share
+    out = sorted(shares.items(), key=lambda item: -item[1])
+    if other > 0:
+        out.append(("OTHER", other))
+    return out

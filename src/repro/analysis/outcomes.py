@@ -1,0 +1,100 @@
+"""Customer-outcome analysis: does the product actually work?
+
+Section 2 explains why people buy: influencer status needs "a high
+engagement [rate] ... and thousands of followers", and the services
+sell exactly those metrics. The paper never measures whether customers
+get them; the simulation can. This module compares AAS customers'
+follower counts and engagement rates against a matched organic
+baseline over the measurement window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.platform.instagram import InstagramPlatform
+from repro.platform.models import AccountId, ActionStatus, ActionType
+from repro.util.stats import median
+
+
+@dataclass(frozen=True)
+class OutcomeSummary:
+    """Follower/engagement outcomes for one group of accounts."""
+
+    group: str
+    accounts: int
+    median_followers: float
+    median_inbound_likes: float
+    median_engagement_rate: float
+
+
+def _inbound_like_counts(
+    platform: InstagramPlatform, accounts: Sequence[AccountId], start_tick: int, end_tick: int
+) -> list[int]:
+    counts = []
+    for account in accounts:
+        inbound = [
+            r
+            for r in platform.log.inbound(account)
+            if start_tick <= r.tick < end_tick
+            and r.action_type is ActionType.LIKE
+            and r.status is not ActionStatus.BLOCKED
+        ]
+        counts.append(len(inbound))
+    return counts
+
+
+def summarize_outcomes(
+    platform: InstagramPlatform,
+    group: str,
+    accounts: Iterable[AccountId],
+    start_tick: int,
+    end_tick: int,
+) -> OutcomeSummary:
+    """Window outcomes (followers now, likes received, ER) for a group."""
+    live = [a for a in accounts if platform.account_exists(a)]
+    if not live:
+        raise ValueError(f"group {group!r} has no live accounts")
+    followers = [platform.follower_count(a) for a in live]
+    likes = _inbound_like_counts(platform, live, start_tick, end_tick)
+    engagement = []
+    for account in live:
+        rate = platform.engagement_rate(account)
+        engagement.append(rate if rate is not None else 0.0)
+    return OutcomeSummary(
+        group=group,
+        accounts=len(live),
+        median_followers=median(followers),
+        median_inbound_likes=median(likes),
+        median_engagement_rate=median(engagement),
+    )
+
+
+def customer_vs_organic(
+    platform: InstagramPlatform,
+    customers: set[AccountId],
+    organic_pool: Sequence[AccountId],
+    start_tick: int,
+    end_tick: int,
+    rng: np.random.Generator,
+) -> tuple[OutcomeSummary, OutcomeSummary]:
+    """(customer summary, matched organic baseline summary).
+
+    The baseline is a same-size random sample of organic accounts that
+    never enrolled anywhere — the counterfactual the customers paid to
+    escape.
+    """
+    customer_list = sorted(a for a in customers if platform.account_exists(a))
+    baseline_pool = [a for a in organic_pool if a not in customers]
+    if not customer_list or not baseline_pool:
+        raise ValueError("need non-empty customer and baseline pools")
+    size = min(len(customer_list), len(baseline_pool))
+    picks = rng.choice(len(baseline_pool), size=size, replace=False)
+    baseline = [baseline_pool[int(i)] for i in picks]
+    return (
+        summarize_outcomes(platform, "customers", customer_list, start_tick, end_tick),
+        summarize_outcomes(platform, "organic", baseline, start_tick, end_tick),
+    )

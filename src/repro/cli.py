@@ -1,0 +1,193 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``run-study`` — run the full measurement pipeline and print every
+  business table (Tables 5-11, Figure 2, Figures 3-4 medians).
+* ``run-interventions`` — continue with the narrow and broad
+  intervention experiments and print the Figure 5-7 series.
+* ``list-presets`` — show the available scale presets.
+
+Example::
+
+    python -m repro run-study --preset tiny --seed 7
+    python -m repro run-study --preset small --output report.txt
+    python -m repro run-interventions --preset tiny
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, TextIO
+
+from repro.core import Study, StudyConfig
+from repro.core import experiments as E
+from repro.core import reporting as R
+from repro.core.study import INSTA_STAR
+from repro.interventions.experiment import BroadInterventionPlan, NarrowInterventionPlan
+
+PRESETS: dict[str, Callable[[int], StudyConfig]] = {
+    "tiny": StudyConfig.tiny,
+    "small": StudyConfig.small,
+    "paper": StudyConfig.paper_shaped,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Following Their Footsteps' (IMC 2018)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--preset", choices=sorted(PRESETS), default="tiny")
+        sub.add_argument("--seed", type=int, default=42)
+        sub.add_argument(
+            "--output", type=str, default="", help="write the report to a file instead of stdout"
+        )
+
+    run_study = subparsers.add_parser("run-study", help="measurement pipeline + business tables")
+    add_common(run_study)
+    run_study.add_argument(
+        "--measurement-days", type=int, default=0, help="override the preset's window length"
+    )
+
+    run_interventions = subparsers.add_parser(
+        "run-interventions", help="narrow + broad intervention experiments"
+    )
+    add_common(run_interventions)
+    run_interventions.add_argument("--narrow-days", type=int, default=14)
+
+    run_epilogue = subparsers.add_parser(
+        "run-epilogue", help="the Section 6.4 arms race (migration, out-of-stock)"
+    )
+    add_common(run_epilogue)
+    run_epilogue.add_argument("--days", type=int, default=30)
+    run_epilogue.add_argument(
+        "--relearn-days",
+        type=int,
+        default=0,
+        help="defender re-learns signatures every N days (0 = frozen defender)",
+    )
+
+    subparsers.add_parser("list-presets", help="show available scale presets")
+    return parser
+
+
+def _run_measurement(args, out: TextIO) -> Study:
+    config = PRESETS[args.preset](seed=args.seed)
+    if getattr(args, "measurement_days", 0):
+        config = config.with_measurement_days(args.measurement_days)
+    print(f"Building world (preset={args.preset}, seed={args.seed})...", file=sys.stderr)
+    study = Study(config)
+    print("Running honeypot phase...", file=sys.stderr)
+    study.run_honeypot_phase()
+    study.learn_signatures()
+    print(f"Running measurement window ({config.measurement_days} days)...", file=sys.stderr)
+    dataset = study.run_measurement()
+
+    sections = [
+        R.render_table1(E.table1_services(study)),
+        R.render_table2(E.table2_reciprocity_pricing()),
+        R.render_table3(E.table3_hublaagram_pricing(study)),
+        R.render_table4(E.table4_followersgratis_pricing()),
+        R.render_table5(E.table5_reciprocation(study.reciprocation_results)),
+        R.render_table6(E.table6_customers(dataset)),
+        R.render_table7(E.table7_locations(study, dataset)),
+        R.render_table8(E.table8_reciprocity_revenue(study, dataset)),
+        R.render_table9(E.table9_hublaagram_revenue(study, dataset)),
+        R.render_table10(E.table10_renewals(study, dataset)),
+        R.render_table11(E.table11_action_mix(dataset)),
+        R.render_fig2(E.fig2_geography(study, dataset)),
+        R.render_fig34(E.fig34_target_bias(study, dataset, sample_size=500)),
+    ]
+    print("\n\n".join(sections), file=out)
+    return study
+
+
+def cmd_run_study(args, out: TextIO) -> int:
+    _run_measurement(args, out)
+    return 0
+
+
+def cmd_run_interventions(args, out: TextIO) -> int:
+    study = _run_measurement(args, out)
+    print("Running narrow intervention...", file=sys.stderr)
+    narrow = study.run_narrow_intervention(
+        NarrowInterventionPlan(duration_days=args.narrow_days), calibration_days=5
+    )
+    study.run_days(6)  # washout before the broad design
+    print("Running broad intervention...", file=sys.stderr)
+    broad = study.run_broad_intervention(
+        BroadInterventionPlan(delay_days=6, block_days=8), calibration_days=5
+    )
+    sections = [
+        R.render_fig5(E.fig5_median_follows(narrow, service=INSTA_STAR)),
+        R.render_fig6(E.fig6_hublaagram_likes(narrow)),
+        R.render_fig7(E.fig7_broad_follows(broad, service=INSTA_STAR)),
+    ]
+    print("\n\n".join(sections), file=out)
+    return 0
+
+
+def cmd_run_epilogue(args, out: TextIO) -> int:
+    import dataclasses
+
+    config = PRESETS[args.preset](seed=args.seed)
+    config = dataclasses.replace(config, enable_migration=True)
+    print(f"Building world (preset={args.preset}, seed={args.seed})...", file=sys.stderr)
+    study = Study(config)
+    study.run_honeypot_phase()
+    study.learn_signatures()
+    study.run_measurement(days_=min(7, config.measurement_days))
+    print(f"Running epilogue regime for {args.days} days...", file=sys.stderr)
+    outcome = study.run_epilogue(
+        days_=args.days,
+        defender_relearn_days=args.relearn_days or None,
+    )
+    lines = [f"Epilogue (days {outcome.start_day}-{outcome.end_day}):"]
+    for service, moves in sorted(outcome.migrations.items()):
+        if moves:
+            history = "; ".join(label for _, label in moves)
+            lines.append(f"  {service} migrated {len(moves)}x: {history}")
+    lines.append(f"  signature coverage: {outcome.signature_coverage:.1%}")
+    lines.append(f"  Hublaagram sales suspended: {outcome.hublaagram_sales_suspended}")
+    print("\n".join(lines), file=out)
+    return 0
+
+
+def cmd_list_presets(args, out: TextIO) -> int:
+    for name, factory in sorted(PRESETS.items()):
+        config = factory(42)
+        print(
+            f"{name:<6} population={config.population.size:<6} "
+            f"measurement_days={config.measurement_days:<4} "
+            f"budget_scale={config.budget_scale}",
+            file=out,
+        )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    output_path = getattr(args, "output", "")
+    if output_path:
+        with open(output_path, "w") as out:
+            return _dispatch(args, out)
+    return _dispatch(args, sys.stdout)
+
+
+def _dispatch(args, out: TextIO) -> int:
+    handlers = {
+        "run-study": cmd_run_study,
+        "run-interventions": cmd_run_interventions,
+        "run-epilogue": cmd_run_epilogue,
+        "list-presets": cmd_list_presets,
+    }
+    return handlers[args.command](args, out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,31 @@
+"""The study orchestrator — the paper's end-to-end methodology.
+
+:class:`Study` builds the full simulated world (platform, network
+fabric, organic population, the five AASs and their customer bases),
+then runs the paper's measurement pipeline in order:
+
+1. honeypot phase — register instrumented accounts with every service,
+   quantify reciprocation (Table 5), learn attribution signatures;
+2. measurement window — 90 days of attributed activity, feeding the
+   customer-base, revenue, and targeting analyses (Tables 6-11,
+   Figures 2-4);
+3. intervention experiments — narrow and broad countermeasure
+   deployments with post-hoc reaction time series (Figures 5-7).
+
+:mod:`repro.core.experiments` exposes one function per paper table and
+figure; :mod:`repro.core.reporting` renders their rows as text.
+"""
+
+from repro.core.config import ServicePlans, StudyConfig
+from repro.core.study import MeasurementDataset, Study
+from repro.core import experiments
+from repro.core import reporting
+
+__all__ = [
+    "StudyConfig",
+    "ServicePlans",
+    "Study",
+    "MeasurementDataset",
+    "experiments",
+    "reporting",
+]

@@ -1,0 +1,198 @@
+"""Text rendering of experiment results (used by benches and examples)."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.util.tables import format_table
+
+
+def _pct(value: float) -> str:
+    return f"{100.0 * value:.1f}%"
+
+
+def render_table1(rows: list[dict[str, Any]]) -> str:
+    headers = ["Service", "Type", "Like", "Follow", "Comment", "Post", "Unfollow"]
+    body = [
+        [
+            r["service"],
+            r["type"],
+            *("*" if r[c] else "" for c in ("like", "follow", "comment", "post", "unfollow")),
+        ]
+        for r in rows
+    ]
+    return format_table(headers, body, title="Table 1: services offered")
+
+
+def render_table2(rows: list[dict[str, Any]]) -> str:
+    headers = ["Service", "Trial days (advertised)", "Trial days (actual)", "Min paid days", "Cost"]
+    body = [
+        [
+            r["service"],
+            r["trial_days"],
+            r["trial_days_actual"],
+            r["min_paid_days"],
+            f"${r['cost_usd']:.2f}",
+        ]
+        for r in rows
+    ]
+    return format_table(headers, body, title="Table 2: reciprocity AAS pricing")
+
+
+def render_table3(rows: list[dict[str, Any]]) -> str:
+    headers = ["Description", "Cost", "Duration"]
+    body = [[r["description"], f"${r['cost_usd']:.2f}", r["duration"]] for r in rows]
+    return format_table(headers, body, title="Table 3: Hublaagram price list (quantities scaled)")
+
+
+def render_table4(rows: list[dict[str, Any]]) -> str:
+    headers = ["Description", "Cost", "Duration (days)"]
+    body = [[r["description"], f"${r['cost_usd']:.2f}", r["duration_days"]] for r in rows]
+    return format_table(headers, body, title="Table 4: Followersgratis price list")
+
+
+def render_table5(rows: list[dict[str, Any]]) -> str:
+    headers = ["Service", "Kind", "Outbound", "N outbound", "-> likes", "-> follows"]
+    body = [
+        [
+            r["service"],
+            r["kind"],
+            r["outbound"],
+            r["outbound_count"],
+            _pct(r["inbound_like_ratio"]),
+            _pct(r["inbound_follow_ratio"]),
+        ]
+        for r in rows
+    ]
+    return format_table(headers, body, title="Table 5: reciprocation probabilities")
+
+
+def render_table6(rows: list[dict[str, Any]]) -> str:
+    headers = ["Service", "Customers", "Long-term", "LT %", "Short-term", "LT action share"]
+    body = [
+        [
+            r["service"],
+            r["customers"],
+            r["long_term"],
+            _pct(r["long_term_pct"]),
+            r["short_term"],
+            _pct(r["long_term_action_share"]),
+        ]
+        for r in rows
+    ]
+    return format_table(headers, body, title="Table 6: customers per AAS")
+
+
+def render_table7(rows: list[dict[str, Any]]) -> str:
+    headers = ["Service", "Operating country", "ASN locations"]
+    body = [[r["service"], r["operating_country"], ", ".join(r["asn_locations"])] for r in rows]
+    return format_table(headers, body, title="Table 7: service locations")
+
+
+def render_table8(rows: list[dict[str, Any]]) -> str:
+    headers = ["Service", "Paying accounts", "Fee", "Est. monthly", "Ledger monthly (truth)"]
+    body = [
+        [
+            r["service"],
+            r["paying_accounts"],
+            r["fee"],
+            f"${r['est_monthly_usd']:,.0f}",
+            f"${r['true_monthly_usd']:,.0f}",
+        ]
+        for r in rows
+    ]
+    return format_table(headers, body, title="Table 8: reciprocity AAS revenue")
+
+
+def render_table9(result: dict[str, Any]) -> str:
+    body = [
+        ["No outbound (one-time)", result["no_outbound_accounts"], f"${result['no_outbound_usd']:,.0f}"],
+        ["One-time likes", result["one_time_like_buyers"], f"${result['one_time_like_usd']:,.0f}"],
+    ]
+    for label in sorted(result["monthly_tier_accounts"]):
+        body.append(
+            [
+                f"Likes/photo {label}",
+                result["monthly_tier_accounts"][label],
+                f"${result['monthly_tier_usd'][label]:,.0f}",
+            ]
+        )
+    body.append(["Ads (low CPM)", result["ad_impressions"], f"${result['ad_usd_low']:,.0f}"])
+    body.append(["Ads (high CPM)", result["ad_impressions"], f"${result['ad_usd_high']:,.0f}"])
+    body.append(
+        [
+            "Monthly total (low-high)",
+            "",
+            f"${result['monthly_total_usd_low']:,.0f} - ${result['monthly_total_usd_high']:,.0f}",
+        ]
+    )
+    body.append(["Ledger truth (window)", "", f"${result['true_window_revenue_usd']:,.0f}"])
+    return format_table(["Item", "Count", "Revenue"], body, title="Table 9: Hublaagram revenue")
+
+
+def render_table10(rows: list[dict[str, Any]]) -> str:
+    headers = ["Service", "New", "Preexisting", "Window revenue"]
+    body = [
+        [r["service"], _pct(r["new_pct"]), _pct(r["preexisting_pct"]), f"${r['total_usd']:,.0f}"]
+        for r in rows
+    ]
+    return format_table(headers, body, title="Table 10: new vs preexisting payer revenue")
+
+
+def render_table11(rows: list[dict[str, Any]]) -> str:
+    headers = ["Service", "Likes", "Follows", "Comments", "Posts", "Unfollows"]
+    body = [
+        [
+            r["service"],
+            _pct(r["like"]),
+            _pct(r["follow"]),
+            _pct(r["comment"]),
+            _pct(r["post"]),
+            _pct(r["unfollow"]),
+        ]
+        for r in rows
+    ]
+    return format_table(headers, body, title="Table 11: action mix")
+
+
+def render_fig2(result: dict[str, list[tuple[str, float]]]) -> str:
+    lines = ["Figure 2: customer locations by country (>=5% bars + OTHER)"]
+    for service, shares in result.items():
+        bars = ", ".join(f"{country} {_pct(share)}" for country, share in shares)
+        lines.append(f"  {service}: {bars}")
+    return "\n".join(lines)
+
+
+def render_fig34(result: dict[str, Any]) -> str:
+    headers = ["Sample", "N", "Median out-degree (Fig 3)", "Median in-degree (Fig 4)"]
+    body = []
+    for name, stats in result.items():
+        body.append([name, stats["n"], stats["median_out_degree"], stats["median_in_degree"]])
+    return format_table(headers, body, title="Figures 3-4: target degree bias (medians)")
+
+
+def render_fig5(result: dict[str, Any]) -> str:
+    lines = [f"Figure 5: median daily {result['service']} follows per user (threshold={result['threshold']})"]
+    for group, series in sorted(result["series"].items()):
+        values = list(series.values())
+        if not values:
+            continue
+        head = ", ".join(f"d{day}:{value:.0f}" for day, value in list(series.items())[:14])
+        lines.append(f"  {group:<9} mean={sum(values)/len(values):6.1f}  {head} ...")
+    return "\n".join(lines)
+
+
+def render_fig6(result: dict[str, Any]) -> str:
+    lines = ["Figure 6: proportion of Hublaagram likes eligible per day"]
+    series = result["series"]
+    for day, value in series.items():
+        lines.append(f"  day {day:>3}: {_pct(value)}")
+    return "\n".join(lines)
+
+
+def render_fig7(result: dict[str, Any]) -> str:
+    lines = [f"Figure 7: broad intervention on {result['service']} follows (switch day {result['switch_day']})"]
+    for period, shares in result["weekly_group_shares"].items():
+        bars = ", ".join(f"{group} {_pct(share)}" for group, share in sorted(shares.items()))
+        lines.append(f"  week {period}: {bars}")
+    return "\n".join(lines)

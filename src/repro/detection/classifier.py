@@ -1,0 +1,133 @@
+"""Sweeping the action log: attribution and customer identification.
+
+"Using our service characterizations we were then able to identify all
+accounts used by customers of each service" (Section 1). The classifier
+matches every logged action against the learned signatures; actors of
+matched actions are service customers, and for collusion networks the
+*recipients* of matched actions are customers as well (including the
+inbound-only accounts that pay the no-outbound fee — Section 5.2 counts
+them exactly this way).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.aas.base import ServiceType
+from repro.detection.signals import ServiceSignature
+from repro.platform.models import AccountId, ActionRecord, ActionStatus
+
+
+@dataclass
+class AttributedActivity:
+    """Everything attributed to one service in a sweep."""
+
+    service: str
+    service_type: ServiceType
+    records: list[ActionRecord] = field(default_factory=list)
+
+    @property
+    def actors(self) -> set[AccountId]:
+        """Accounts the service drove outbound actions from."""
+        return {r.actor for r in self.records}
+
+    @property
+    def recipients(self) -> set[AccountId]:
+        """Accounts that received service-delivered actions."""
+        return {r.target_account for r in self.records if r.target_account is not None}
+
+    @property
+    def customers(self) -> set[AccountId]:
+        """The service's customer accounts, per the paper's rules."""
+        if self.service_type is ServiceType.COLLUSION_NETWORK:
+            return self.actors | self.recipients
+        return self.actors
+
+    @property
+    def inbound_only_accounts(self) -> set[AccountId]:
+        """Collusion customers that never source actions (no-outbound fee)."""
+        if self.service_type is not ServiceType.COLLUSION_NETWORK:
+            return set()
+        return self.recipients - self.actors
+
+    @property
+    def observed_asns(self) -> set[int]:
+        return {r.endpoint.asn for r in self.records}
+
+
+class AASClassifier:
+    """Attributes log records to services via learned signatures."""
+
+    def __init__(self, signatures: Iterable[ServiceSignature]):
+        self.signatures = list(signatures)
+        names = [s.service for s in self.signatures]
+        if len(names) != len(set(names)):
+            raise ValueError("duplicate service signatures")
+
+    def attribute(self, record: ActionRecord) -> Optional[str]:
+        """Service name for one record, or None if it looks benign."""
+        for signature in self.signatures:
+            if signature.matches(record):
+                return signature.service
+        return None
+
+    def sweep(
+        self,
+        records: Iterable[ActionRecord],
+        start_tick: int = 0,
+        end_tick: int | None = None,
+        include_blocked: bool = True,
+    ) -> dict[str, AttributedActivity]:
+        """Attribute every record in the window to a service (or drop it).
+
+        Blocked attempts are included by default — they are still abuse
+        attempts and the intervention analyses need them.
+        """
+        out = {
+            s.service: AttributedActivity(service=s.service, service_type=s.service_type)
+            for s in self.signatures
+        }
+        for record in records:
+            if record.tick < start_tick:
+                continue
+            if end_tick is not None and record.tick >= end_tick:
+                continue
+            if not include_blocked and record.status is ActionStatus.BLOCKED:
+                continue
+            service = self.attribute(record)
+            if service is not None:
+                out[service].records.append(record)
+        return out
+
+    def benign_records(
+        self,
+        records: Iterable[ActionRecord],
+        start_tick: int = 0,
+        end_tick: int | None = None,
+    ) -> list[ActionRecord]:
+        """Records matching no signature — the legitimate-traffic pool the
+        intervention thresholds are computed from (Section 6.2)."""
+        out = []
+        for record in records:
+            if record.tick < start_tick:
+                continue
+            if end_tick is not None and record.tick >= end_tick:
+                continue
+            if self.attribute(record) is None:
+                out.append(record)
+        return out
+
+    def daily_counts_by_account(
+        self,
+        records: Iterable[ActionRecord],
+        action_type=None,
+    ) -> dict[AccountId, dict[int, int]]:
+        """Per-account, per-day action counts (helper for thresholds)."""
+        counts: dict[AccountId, dict[int, int]] = defaultdict(lambda: defaultdict(int))
+        for record in records:
+            if action_type is not None and record.action_type is not action_type:
+                continue
+            counts[record.actor][record.day] += 1
+        return {a: dict(d) for a, d in counts.items()}

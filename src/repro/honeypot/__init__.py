@@ -1,0 +1,26 @@
+"""Honeypot account instrumentation (paper Section 4).
+
+The paper's ground truth comes from ~150 fully-instrumented honeypot
+accounts registered with the AASs, plus 50 inactive accounts
+establishing that a quiet account receives no background actions. This
+package reproduces that methodology:
+
+* :class:`HoneypotFramework` — programmatic account management: empty,
+  lived-in, and inactive account types; creation, content upload,
+  deletion (which scrubs all platform effects), and action monitoring.
+* :class:`ReciprocationExperiment` — the Table 5 experiment: register
+  honeypots per (service, action type, account kind), let the service
+  run, and measure reciprocation ratios from the honeypots' inbound
+  actions.
+"""
+
+from repro.honeypot.framework import HoneypotAccount, HoneypotFramework, HoneypotKind
+from repro.honeypot.experiments import ReciprocationExperiment, ReciprocationResult
+
+__all__ = [
+    "HoneypotAccount",
+    "HoneypotFramework",
+    "HoneypotKind",
+    "ReciprocationExperiment",
+    "ReciprocationResult",
+]

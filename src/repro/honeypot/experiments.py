@@ -1,0 +1,174 @@
+"""The reciprocation-quantification experiment (paper Section 4.3, Table 5).
+
+For each reciprocity-abuse service and each requested action type, a set
+of honeypot accounts (nine empty, one lived-in per the paper's 10-account
+batches) is registered for exactly that service type. After the trial
+runs, the reciprocation ratio is measured as
+
+    inbound actions of a type  /  outbound actions of the requested type
+
+where all inbound activity on a honeypot is attributable to its AAS
+enrollment once the inactive-baseline accounts are confirmed quiet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.aas.base import AccountAutomationService
+from repro.honeypot.framework import HoneypotAccount, HoneypotFramework, HoneypotKind
+from repro.platform.models import AccountId, ActionType
+
+
+@dataclass
+class _Registration:
+    """One honeypot's enrollment in one service for one action type."""
+
+    honeypot: HoneypotAccount
+    service: AccountAutomationService
+    action_type: ActionType
+    registered_at: int
+
+
+@dataclass
+class ReciprocationResult:
+    """One Table 5 row: a (service, action type, account kind) cell."""
+
+    service: str
+    kind: HoneypotKind
+    outbound_type: ActionType
+    outbound_count: int
+    inbound_likes: int
+    inbound_follows: int
+    honeypots: int
+
+    @property
+    def like_ratio(self) -> float:
+        """P(inbound like per outbound action)."""
+        if self.outbound_count == 0:
+            return 0.0
+        return self.inbound_likes / self.outbound_count
+
+    @property
+    def follow_ratio(self) -> float:
+        """P(inbound follow per outbound action)."""
+        if self.outbound_count == 0:
+            return 0.0
+        return self.inbound_follows / self.outbound_count
+
+
+class ReciprocationExperiment:
+    """Registers honeypot batches and computes reciprocation ratios."""
+
+    def __init__(
+        self,
+        framework: HoneypotFramework,
+        rng: np.random.Generator,
+        high_profile_pool: list[AccountId] | None = None,
+    ):
+        self.framework = framework
+        self.rng = rng
+        self.high_profile_pool = list(high_profile_pool or [])
+        self._registrations: list[_Registration] = []
+
+    def register_batch(
+        self,
+        service: AccountAutomationService,
+        action_type: ActionType,
+        empty: int = 9,
+        lived_in: int = 1,
+    ) -> list[HoneypotAccount]:
+        """Create and enroll one batch for (service, action_type)."""
+        if action_type not in service.descriptor.offered_actions:
+            raise ValueError(f"{service.name} does not offer {action_type.value}")
+        platform = self.framework.platform
+        campaign = f"{service.name.lower()}-{action_type.value}"
+        honeypots: list[HoneypotAccount] = []
+        for _ in range(empty):
+            honeypots.append(self.framework.create_empty(campaign=campaign))
+        for _ in range(lived_in):
+            honeypots.append(
+                self.framework.create_lived_in(
+                    campaign=campaign, high_profile_pool=self.high_profile_pool
+                )
+            )
+        trial = self._trial_ticks(service)
+        for honeypot in honeypots:
+            service.register_customer(
+                honeypot.username,
+                honeypot.password,
+                frozenset({action_type}),
+                trial_ticks=trial,
+            )
+            self._registrations.append(
+                _Registration(
+                    honeypot=honeypot,
+                    service=service,
+                    action_type=action_type,
+                    registered_at=platform.clock.now,
+                )
+            )
+        return honeypots
+
+    @staticmethod
+    def _trial_ticks(service: AccountAutomationService) -> int:
+        config = getattr(service, "config", None)
+        pricing = getattr(config, "pricing", None)
+        if pricing is not None:
+            return pricing.trial_ticks
+        from repro.util.timeutils import days
+
+        return days(7)
+
+    # ------------------------------------------------------------------
+    # Measurement
+    # ------------------------------------------------------------------
+
+    def results(self) -> list[ReciprocationResult]:
+        """Aggregate Table 5 cells over all registrations so far."""
+        cells: dict[tuple[str, HoneypotKind, ActionType], dict[str, int]] = {}
+        for registration in self._registrations:
+            honeypot = registration.honeypot
+            key = (registration.service.name, honeypot.kind, registration.action_type)
+            cell = cells.setdefault(
+                key,
+                {"outbound": 0, "in_likes": 0, "in_follows": 0, "honeypots": 0},
+            )
+            cell["honeypots"] += 1
+            since = registration.registered_at
+            for record in self.framework.outbound_actions(honeypot, since=since):
+                if record.action_type is registration.action_type:
+                    cell["outbound"] += 1
+            for record in self.framework.inbound_actions(honeypot, since=since):
+                if record.action_type is ActionType.LIKE:
+                    cell["in_likes"] += 1
+                elif record.action_type is ActionType.FOLLOW:
+                    cell["in_follows"] += 1
+        out = []
+        for (service_name, kind, action_type), cell in sorted(
+            cells.items(), key=lambda item: (item[0][2].value, item[0][1].value, item[0][0])
+        ):
+            out.append(
+                ReciprocationResult(
+                    service=service_name,
+                    kind=kind,
+                    outbound_type=action_type,
+                    outbound_count=cell["outbound"],
+                    inbound_likes=cell["in_likes"],
+                    inbound_follows=cell["in_follows"],
+                    honeypots=cell["honeypots"],
+                )
+            )
+        return out
+
+    def teardown(self) -> int:
+        """Delete every experiment honeypot (Section 4.1.2's cleanup)."""
+        campaigns = sorted(
+            {f"{r.service.name.lower()}-{r.action_type.value}" for r in self._registrations}
+        )
+        deleted = 0
+        for campaign in campaigns:
+            deleted += self.framework.delete_all(campaign=campaign)
+        return deleted

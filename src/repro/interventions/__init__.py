@@ -1,0 +1,44 @@
+"""Controlled intervention experiments (paper Section 6).
+
+* :mod:`repro.interventions.bins` — the deterministic 10-bin partition
+  of accounts used to assign countermeasure treatments.
+* :mod:`repro.interventions.thresholds` — per-(ASN, action type) daily
+  activity thresholds: 99th percentile of benign activity on mixed
+  ASNs (bounding false positives at 1%), 25th percentile of AAS
+  activity on AAS-only ASNs (Section 6.2).
+* :mod:`repro.interventions.policy` — the countermeasure policy that
+  blocks or delay-removes above-threshold actions for treated bins.
+* :mod:`repro.interventions.experiment` — the narrow (6-week, 10% bins)
+  and broad (2-week, 90%) experiment harnesses.
+* :mod:`repro.interventions.metrics` — post-hoc time series: median
+  actions per user per day by treatment group (Figure 5), proportion of
+  actions eligible for countermeasures (Figures 6-7).
+"""
+
+from repro.interventions.bins import BIN_COUNT, BinAssignment, account_bin
+from repro.interventions.thresholds import ThresholdEntry, ThresholdTable, compute_thresholds
+from repro.interventions.policy import ThresholdBinPolicy
+from repro.interventions.experiment import (
+    BroadInterventionPlan,
+    InterventionController,
+    NarrowInterventionPlan,
+)
+from repro.interventions.metrics import (
+    eligible_proportion_series,
+    median_daily_actions_series,
+)
+
+__all__ = [
+    "BIN_COUNT",
+    "BinAssignment",
+    "account_bin",
+    "ThresholdEntry",
+    "ThresholdTable",
+    "compute_thresholds",
+    "ThresholdBinPolicy",
+    "InterventionController",
+    "NarrowInterventionPlan",
+    "BroadInterventionPlan",
+    "median_daily_actions_series",
+    "eligible_proportion_series",
+]

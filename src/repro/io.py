@@ -1,0 +1,89 @@
+"""Dataset export/import.
+
+Downstream analyses (notebooks, plotting, external classifiers) want the
+measurement event stream without re-running the simulation. These
+helpers serialize action records to JSON-lines and load them back as
+plain dicts or reconstructed :class:`ActionRecord` objects.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.netsim.client import ClientEndpoint, DeviceFingerprint
+from repro.netsim.ipspace import format_ipv4, parse_ipv4
+from repro.platform.models import (
+    ActionRecord,
+    ActionStatus,
+    ActionType,
+    ApiSurface,
+)
+
+
+def record_to_dict(record: ActionRecord) -> dict:
+    """Flatten one action record into a JSON-safe dict."""
+    return {
+        "action_id": record.action_id,
+        "type": record.action_type.value,
+        "actor": record.actor,
+        "target_account": record.target_account,
+        "target_media": record.target_media,
+        "tick": record.tick,
+        "status": record.status.value,
+        "api": record.api.value,
+        "ip": format_ipv4(record.endpoint.address),
+        "asn": record.endpoint.asn,
+        "client_family": record.endpoint.fingerprint.family,
+        "client_variant": record.endpoint.fingerprint.variant,
+        "removed_at": record.removed_at,
+        "comment_text": record.comment_text,
+    }
+
+
+def record_from_dict(data: dict) -> ActionRecord:
+    """Rebuild an action record from :func:`record_to_dict` output."""
+    return ActionRecord(
+        action_id=int(data["action_id"]),
+        action_type=ActionType(data["type"]),
+        actor=int(data["actor"]),
+        tick=int(data["tick"]),
+        endpoint=ClientEndpoint(
+            address=parse_ipv4(data["ip"]),
+            asn=int(data["asn"]),
+            fingerprint=DeviceFingerprint(
+                family=data["client_family"], variant=data["client_variant"]
+            ),
+        ),
+        api=ApiSurface(data["api"]),
+        status=ActionStatus(data["status"]),
+        target_account=data.get("target_account"),
+        target_media=data.get("target_media"),
+        removed_at=data.get("removed_at"),
+        comment_text=data.get("comment_text"),
+    )
+
+
+def export_records(records: Iterable[ActionRecord], path: str | Path) -> int:
+    """Write records to a JSON-lines file; returns the count written."""
+    count = 0
+    with open(path, "w") as handle:
+        for record in records:
+            handle.write(json.dumps(record_to_dict(record)) + "\n")
+            count += 1
+    return count
+
+
+def iter_records(path: str | Path) -> Iterator[ActionRecord]:
+    """Stream records back from a JSON-lines file."""
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield record_from_dict(json.loads(line))
+
+
+def load_records(path: str | Path) -> list[ActionRecord]:
+    """Load a whole JSON-lines file into memory."""
+    return list(iter_records(path))

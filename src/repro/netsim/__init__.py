@@ -1,0 +1,38 @@
+"""Network substrate: IP address space, ASNs, geolocation, clients, proxies.
+
+The paper's attribution and intervention machinery keys on the network
+origin of each Instagram request (IP address, Autonomous System Number,
+and the country the IP geolocates to). This package provides a synthetic
+but internally-consistent version of that infrastructure:
+
+* :class:`AutonomousSystem` / :class:`ASNRegistry` — a registry of ASes,
+  each owning IPv4 prefixes and mapped to a country and a kind
+  (residential, hosting, mobile).
+* :class:`IPAddressSpace` — allocates addresses from AS prefixes.
+* :class:`GeoIP` — resolves an address to country/ASN, mirroring the
+  "Instagram IP geolocation system" the paper relies on.
+* :class:`ClientEndpoint` — an (ip, asn, device fingerprint) triple from
+  which platform requests are issued.
+* :class:`ProxyPool` — rotating proxy infrastructure that AASs adopt
+  after blocking interventions (Section 6.4 epilogue).
+"""
+
+from repro.netsim.asn import ASKind, ASNRegistry, AutonomousSystem
+from repro.netsim.ipspace import IPAddressSpace, format_ipv4
+from repro.netsim.geo import GeoIP
+from repro.netsim.client import ClientEndpoint, DeviceFingerprint
+from repro.netsim.proxies import ProxyPool
+from repro.netsim.fabric import NetworkFabric
+
+__all__ = [
+    "NetworkFabric",
+    "ASKind",
+    "ASNRegistry",
+    "AutonomousSystem",
+    "IPAddressSpace",
+    "format_ipv4",
+    "GeoIP",
+    "ClientEndpoint",
+    "DeviceFingerprint",
+    "ProxyPool",
+]

@@ -1,0 +1,47 @@
+"""Client endpoints: where a platform request comes from.
+
+Every request carries a :class:`ClientEndpoint` (source address + device
+fingerprint). The fingerprint distinguishes official mobile clients,
+the public OAuth API, and AAS automation stacks spoofing the private
+mobile API (Section 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.netsim.ipspace import format_ipv4
+
+
+@dataclass(frozen=True)
+class DeviceFingerprint:
+    """A coarse client identity: family plus a per-installation token.
+
+    ``family`` examples: ``"android"``, ``"ios"``, ``"web-oauth"``, or an
+    automation stack's spoofed identity (which claims a mobile family but
+    is distinguishable by low-level signals captured in ``variant``).
+    """
+
+    family: str
+    variant: str = "stock"
+
+    def spoofed_as(self, family: str) -> "DeviceFingerprint":
+        """Return a fingerprint that claims ``family`` but keeps our variant.
+
+        This models AAS request spoofing: the claimed family changes, the
+        subtle implementation tells (header ordering, TLS stack, ...)
+        condensed into ``variant`` do not.
+        """
+        return DeviceFingerprint(family=family, variant=self.variant)
+
+
+@dataclass(frozen=True)
+class ClientEndpoint:
+    """The network origin of a request."""
+
+    address: int
+    asn: int
+    fingerprint: DeviceFingerprint
+
+    def __str__(self) -> str:
+        return f"{format_ipv4(self.address)} (AS{self.asn}, {self.fingerprint.family}/{self.fingerprint.variant})"

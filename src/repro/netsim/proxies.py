@@ -1,0 +1,87 @@
+"""Rotating proxy pools.
+
+After the broad blocking intervention, one AAS "went so far as to use an
+extensive proxy network to drastically increase IP diversity"
+(Section 6.4 epilogue). :class:`ProxyPool` models that capability: a
+large set of addresses spread over many ASes, handed out round-robin so
+per-address request rates stay low.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.netsim.asn import ASKind, ASNRegistry
+from repro.netsim.client import ClientEndpoint, DeviceFingerprint
+from repro.netsim.ipspace import Prefix
+
+
+class ProxyPool:
+    """A pool of exit endpoints spread across many (usually residential) ASes."""
+
+    def __init__(self, registry: ASNRegistry, endpoints: list[ClientEndpoint]):
+        if not endpoints:
+            raise ValueError("a proxy pool needs at least one endpoint")
+        self._registry = registry
+        self._endpoints = endpoints
+        self._cursor = 0
+
+    @classmethod
+    def build(
+        cls,
+        registry: ASNRegistry,
+        rng: np.random.Generator,
+        as_count: int,
+        exits_per_as: int,
+        country_pool: list[str],
+        fingerprint: DeviceFingerprint,
+        name_prefix: str = "proxy",
+    ) -> "ProxyPool":
+        """Create ``as_count`` fresh residential ASes with exit addresses.
+
+        The prefixes are carved from 10.0.0.0/8-style space the registry
+        has not used; each new AS gets a /24 which is ample for the
+        simulated exit counts.
+        """
+        if as_count <= 0 or exits_per_as <= 0:
+            raise ValueError("as_count and exits_per_as must be positive")
+        endpoints: list[ClientEndpoint] = []
+        for i in range(as_count):
+            base = _fresh_private_base(registry, i)
+            country = country_pool[int(rng.integers(0, len(country_pool)))]
+            autonomous_system = registry.create(
+                name=f"{name_prefix}-{i}",
+                country=country,
+                kind=ASKind.RESIDENTIAL,
+                prefixes=[Prefix(base=base, length=24)],
+            )
+            for _ in range(exits_per_as):
+                addr = registry.allocate_address(autonomous_system.asn)
+                endpoints.append(ClientEndpoint(addr, autonomous_system.asn, fingerprint))
+        return cls(registry, endpoints)
+
+    def next_endpoint(self) -> ClientEndpoint:
+        """Round-robin over exits, maximizing apparent IP diversity."""
+        endpoint = self._endpoints[self._cursor]
+        self._cursor = (self._cursor + 1) % len(self._endpoints)
+        return endpoint
+
+    def __len__(self) -> int:
+        return len(self._endpoints)
+
+    def distinct_asns(self) -> set[int]:
+        return {endpoint.asn for endpoint in self._endpoints}
+
+
+_PROXY_SPACE_BASE = 0x0B000000  # 11.0.0.0/8 — unused by scenario builders
+
+
+def _fresh_private_base(registry: ASNRegistry, index: int) -> int:
+    """Pick a /24 base that does not collide with registered prefixes."""
+    for slot in range(index, 1 << 16):
+        base = _PROXY_SPACE_BASE + (slot << 8)
+        try:
+            registry.space.owner_prefix(base)
+        except KeyError:
+            return base
+    raise RuntimeError("proxy address space exhausted")

@@ -1,0 +1,112 @@
+"""The append-only action log — the measurement event stream.
+
+Every attempted social action is logged here (including blocked ones),
+annotated with actor, target, tick, network endpoint, and API surface.
+The detection, analysis, and intervention packages all consume this log;
+it is the simulator's equivalent of the internal Instagram data the
+paper's authors had access to.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Iterable, Iterator, Optional
+
+from repro.platform.models import AccountId, ActionRecord, ActionStatus, ActionType
+
+
+class ActionLog:
+    """Append-only action store with actor/target/day indices."""
+
+    def __init__(self):
+        self._records: list[ActionRecord] = []
+        self._by_actor: dict[AccountId, list[int]] = defaultdict(list)
+        self._by_target: dict[AccountId, list[int]] = defaultdict(list)
+
+    def append(self, record: ActionRecord) -> None:
+        """Append one record; ids must be the log's next index."""
+        if record.action_id != len(self._records):
+            raise ValueError(
+                f"action_id {record.action_id} out of order; expected {len(self._records)}"
+            )
+        self._records.append(record)
+        self._by_actor[record.actor].append(record.action_id)
+        if record.target_account is not None:
+            self._by_target[record.target_account].append(record.action_id)
+
+    def next_id(self) -> int:
+        return len(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[ActionRecord]:
+        return iter(self._records)
+
+    def get(self, action_id: int) -> ActionRecord:
+        return self._records[action_id]
+
+    def by_actor(self, actor: AccountId) -> list[ActionRecord]:
+        """All actions performed by ``actor`` (any status), in time order."""
+        return [self._records[i] for i in self._by_actor.get(actor, ())]
+
+    def by_target(self, target: AccountId) -> list[ActionRecord]:
+        """All actions directed at ``target`` (any status), in time order."""
+        return [self._records[i] for i in self._by_target.get(target, ())]
+
+    def inbound(self, target: AccountId, *, delivered_only: bool = True) -> list[ActionRecord]:
+        """Actions received by ``target``; by default only ones that landed."""
+        records = self.by_target(target)
+        if delivered_only:
+            records = [r for r in records if r.status is not ActionStatus.BLOCKED]
+        return records
+
+    def outbound(self, actor: AccountId, *, delivered_only: bool = True) -> list[ActionRecord]:
+        """Actions issued by ``actor``; by default only ones that landed."""
+        records = self.by_actor(actor)
+        if delivered_only:
+            records = [r for r in records if r.status is not ActionStatus.BLOCKED]
+        return records
+
+    def select(
+        self,
+        *,
+        action_type: Optional[ActionType] = None,
+        status: Optional[ActionStatus] = None,
+        start_tick: Optional[int] = None,
+        end_tick: Optional[int] = None,
+        predicate: Optional[Callable[[ActionRecord], bool]] = None,
+    ) -> list[ActionRecord]:
+        """Filter the full log. ``end_tick`` is exclusive."""
+        out = []
+        for record in self._records:
+            if action_type is not None and record.action_type is not action_type:
+                continue
+            if status is not None and record.status is not status:
+                continue
+            if start_tick is not None and record.tick < start_tick:
+                continue
+            if end_tick is not None and record.tick >= end_tick:
+                continue
+            if predicate is not None and not predicate(record):
+                continue
+            out.append(record)
+        return out
+
+    def daily_count(
+        self, actor: AccountId, day: int, action_type: Optional[ActionType] = None
+    ) -> int:
+        """Number of non-blocked actions by ``actor`` on zero-based ``day``."""
+        count = 0
+        for i in self._by_actor.get(actor, ()):
+            record = self._records[i]
+            if record.day != day or record.status is ActionStatus.BLOCKED:
+                continue
+            if action_type is not None and record.action_type is not action_type:
+                continue
+            count += 1
+        return count
+
+    def actors(self) -> Iterable[AccountId]:
+        """Every account that has issued at least one action."""
+        return self._by_actor.keys()

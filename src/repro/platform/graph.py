@@ -1,0 +1,76 @@
+"""The follower graph.
+
+A directed graph over accounts: an edge A -> B means "A follows B".
+Out-degree is "number followed" (Figure 3's metric); in-degree is
+"number of followers" (Figure 4's metric).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.platform.errors import InvalidActionError
+from repro.platform.models import AccountId
+
+
+class FollowerGraph:
+    """Directed follow edges with O(1) degree queries."""
+
+    def __init__(self):
+        self._following: dict[AccountId, set[AccountId]] = defaultdict(set)
+        self._followers: dict[AccountId, set[AccountId]] = defaultdict(set)
+        self._edge_count = 0
+
+    def follow(self, src: AccountId, dst: AccountId) -> None:
+        """Add edge src -> dst. Self-follows and duplicates are invalid."""
+        if src == dst:
+            raise InvalidActionError("accounts cannot follow themselves")
+        if dst in self._following[src]:
+            raise InvalidActionError(f"{src} already follows {dst}")
+        self._following[src].add(dst)
+        self._followers[dst].add(src)
+        self._edge_count += 1
+
+    def unfollow(self, src: AccountId, dst: AccountId) -> None:
+        """Remove edge src -> dst; removing a missing edge is invalid."""
+        if dst not in self._following[src]:
+            raise InvalidActionError(f"{src} does not follow {dst}")
+        self._following[src].remove(dst)
+        self._followers[dst].remove(src)
+        self._edge_count -= 1
+
+    def is_following(self, src: AccountId, dst: AccountId) -> bool:
+        return dst in self._following[src]
+
+    def following(self, account: AccountId) -> frozenset[AccountId]:
+        """Accounts that ``account`` follows."""
+        return frozenset(self._following[account])
+
+    def followers(self, account: AccountId) -> frozenset[AccountId]:
+        """Accounts following ``account``."""
+        return frozenset(self._followers[account])
+
+    def out_degree(self, account: AccountId) -> int:
+        return len(self._following[account])
+
+    def in_degree(self, account: AccountId) -> int:
+        return len(self._followers[account])
+
+    @property
+    def edge_count(self) -> int:
+        return self._edge_count
+
+    def drop_account(self, account: AccountId) -> int:
+        """Remove every edge incident to ``account``; returns edges dropped.
+
+        Used by account deletion: "when deleting a honeypot account, all
+        actions to or from the account are eventually removed".
+        """
+        removed = 0
+        for dst in list(self._following[account]):
+            self.unfollow(account, dst)
+            removed += 1
+        for src in list(self._followers[account]):
+            self.unfollow(src, account)
+            removed += 1
+        return removed

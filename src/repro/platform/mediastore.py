@@ -1,0 +1,130 @@
+"""Media (photo/post) storage with like and comment bookkeeping."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Optional
+
+from repro.platform.errors import InvalidActionError, UnknownMediaError
+from repro.platform.models import AccountId, Media, MediaId
+
+
+class MediaStore:
+    """Owns all media objects plus their like/comment state."""
+
+    def __init__(self):
+        self._media: dict[MediaId, Media] = {}
+        self._by_owner: dict[AccountId, list[MediaId]] = defaultdict(list)
+        self._likers: dict[MediaId, set[AccountId]] = defaultdict(set)
+        self._comments: dict[MediaId, list[tuple[AccountId, str]]] = defaultdict(list)
+        self._by_hashtag: dict[str, set[MediaId]] = defaultdict(set)
+        self._next_id = 0
+
+    def create(self, owner: AccountId, tick: int, caption: str = "", hashtags: tuple[str, ...] = ()) -> Media:
+        media = Media(
+            media_id=self._next_id,
+            owner=owner,
+            created_at=tick,
+            caption=caption,
+            hashtags=hashtags,
+        )
+        self._next_id += 1
+        self._media[media.media_id] = media
+        self._by_owner[owner].append(media.media_id)
+        for tag in hashtags:
+            self._by_hashtag[tag.lower()].add(media.media_id)
+        return media
+
+    def get(self, media_id: MediaId) -> Media:
+        media = self._media.get(media_id)
+        if media is None or media.is_removed:
+            raise UnknownMediaError(f"media {media_id} not found")
+        return media
+
+    def media_of(self, owner: AccountId) -> list[Media]:
+        """Live media belonging to ``owner``, oldest first."""
+        return [
+            self._media[mid]
+            for mid in self._by_owner.get(owner, ())
+            if not self._media[mid].is_removed
+        ]
+
+    def like(self, media_id: MediaId, liker: AccountId) -> None:
+        """Record a like; double-likes are invalid (Instagram semantics)."""
+        media = self.get(media_id)
+        if liker == media.owner:
+            # Self-likes are allowed on Instagram, and some organic users
+            # do like their own posts; nothing to forbid here.
+            pass
+        if liker in self._likers[media_id]:
+            raise InvalidActionError(f"{liker} already likes media {media_id}")
+        self._likers[media_id].add(liker)
+
+    def unlike(self, media_id: MediaId, liker: AccountId) -> None:
+        """Withdraw a like (used by delayed removal of like actions)."""
+        self.get(media_id)
+        if liker not in self._likers[media_id]:
+            raise InvalidActionError(f"{liker} does not like media {media_id}")
+        self._likers[media_id].remove(liker)
+
+    def likes(self, media_id: MediaId) -> frozenset[AccountId]:
+        self.get(media_id)
+        return frozenset(self._likers[media_id])
+
+    def like_count(self, media_id: MediaId) -> int:
+        return len(self._likers[media_id])
+
+    def has_liked(self, media_id: MediaId, liker: AccountId) -> bool:
+        return liker in self._likers[media_id]
+
+    def comment(self, media_id: MediaId, author: AccountId, text: str) -> None:
+        self.get(media_id)
+        self._comments[media_id].append((author, text))
+
+    def comments(self, media_id: MediaId) -> list[tuple[AccountId, str]]:
+        self.get(media_id)
+        return list(self._comments[media_id])
+
+    def media_with_hashtag(self, tag: str) -> list[Media]:
+        """Live media tagged ``tag`` (hashtag search, case-insensitive)."""
+        return [
+            self._media[mid]
+            for mid in self._by_hashtag.get(tag.lower(), ())
+            if not self._media[mid].is_removed
+        ]
+
+    def accounts_posting(self, tag: str) -> set[AccountId]:
+        """Accounts with live media under ``tag`` — how AAS hashtag
+        targeting discovers accounts (paper Section 3.3.1)."""
+        return {media.owner for media in self.media_with_hashtag(tag)}
+
+    def remove_account_media(self, owner: AccountId) -> int:
+        """Tombstone all media of a deleted account; returns count removed."""
+        removed = 0
+        for media_id in self._by_owner.get(owner, ()):
+            media = self._media[media_id]
+            if not media.is_removed:
+                media.is_removed = True
+                removed += 1
+        return removed
+
+    def drop_likes_by(self, account: AccountId) -> int:
+        """Remove every like ``account`` has placed (account deletion)."""
+        removed = 0
+        for media_id, likers in self._likers.items():
+            if account in likers:
+                likers.remove(account)
+                removed += 1
+        return removed
+
+    def engagement_rate(self, owner: AccountId, follower_count: int) -> Optional[float]:
+        """The "engagement rate" metric AASs promote (Section 2).
+
+        ER = (likes + comments across the account's media) / followers.
+        Returns None for accounts with no followers (undefined metric).
+        """
+        if follower_count <= 0:
+            return None
+        media = self.media_of(owner)
+        interactions = sum(self.like_count(m.media_id) + len(self._comments[m.media_id]) for m in media)
+        return interactions / follower_count

@@ -1,0 +1,117 @@
+"""Core platform data types: accounts, media, and action records."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.netsim.client import ClientEndpoint
+
+AccountId = int
+MediaId = int
+
+
+class ActionType(enum.Enum):
+    """The social actions AASs automate (paper Table 1)."""
+
+    LIKE = "like"
+    FOLLOW = "follow"
+    COMMENT = "comment"
+    POST = "post"
+    UNFOLLOW = "unfollow"
+
+
+class ActionStatus(enum.Enum):
+    """Lifecycle of a logged action under countermeasures."""
+
+    DELIVERED = "delivered"
+    BLOCKED = "blocked"
+    REMOVED = "removed"  # delivered, then undone by delayed removal
+
+
+class ApiSurface(enum.Enum):
+    """Which API surface carried the request."""
+
+    PUBLIC_OAUTH = "public-oauth"
+    PRIVATE_MOBILE = "private-mobile"
+
+
+@dataclass
+class Profile:
+    """Public profile fields; lived-in honeypots fill all of them."""
+
+    display_name: str = ""
+    biography: str = ""
+    has_profile_picture: bool = False
+
+    @property
+    def completeness(self) -> float:
+        """Fraction of profile fields populated, in [0, 1]."""
+        filled = sum([bool(self.display_name), bool(self.biography), self.has_profile_picture])
+        return filled / 3.0
+
+
+@dataclass
+class Account:
+    """A platform account."""
+
+    account_id: AccountId
+    username: str
+    created_at: int
+    profile: Profile = field(default_factory=Profile)
+    is_deleted: bool = False
+    deleted_at: Optional[int] = None
+
+    def __post_init__(self):
+        if not self.username:
+            raise ValueError("username must be non-empty")
+
+
+@dataclass
+class Media:
+    """A photo/video post."""
+
+    media_id: MediaId
+    owner: AccountId
+    created_at: int
+    caption: str = ""
+    hashtags: tuple[str, ...] = ()
+    is_removed: bool = False
+
+
+@dataclass(slots=True)
+class ActionRecord:
+    """One logged social action with full attribution signals.
+
+    This is the event-stream row every measurement in the paper consumes:
+    who acted, on whom/what, when, from which network origin, over which
+    API surface. ``status`` evolves if a delayed countermeasure later
+    removes the action.
+    """
+
+    action_id: int
+    action_type: ActionType
+    actor: AccountId
+    tick: int
+    endpoint: ClientEndpoint
+    api: ApiSurface
+    status: ActionStatus
+    target_account: Optional[AccountId] = None
+    target_media: Optional[MediaId] = None
+    removed_at: Optional[int] = None
+    comment_text: Optional[str] = None
+
+    @property
+    def asn(self) -> int:
+        return self.endpoint.asn
+
+    @property
+    def day(self) -> int:
+        return self.tick // 24
+
+    def mark_removed(self, tick: int) -> None:
+        if self.status is not ActionStatus.DELIVERED:
+            raise ValueError(f"cannot remove action in state {self.status}")
+        self.status = ActionStatus.REMOVED
+        self.removed_at = tick

@@ -1,0 +1,52 @@
+"""Rate limiting.
+
+The public OAuth API "is rate limited in a manner that precludes broad
+abusive use" (Section 2). We model it with a sliding-window limiter per
+(key, window). AASs avoid it by spoofing the private mobile API, whose
+limits are far looser — which is exactly why the paper's countermeasures
+had to be built on behavioural thresholds instead.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from typing import Deque, Hashable
+
+
+class SlidingWindowLimiter:
+    """Allows at most ``limit`` events per ``window_ticks`` per key."""
+
+    def __init__(self, limit: int, window_ticks: int):
+        if limit <= 0:
+            raise ValueError("limit must be positive")
+        if window_ticks <= 0:
+            raise ValueError("window must be positive")
+        self.limit = limit
+        self.window_ticks = window_ticks
+        self._events: dict[Hashable, Deque[int]] = defaultdict(deque)
+
+    def _evict(self, key: Hashable, now: int) -> None:
+        events = self._events[key]
+        cutoff = now - self.window_ticks
+        while events and events[0] <= cutoff:
+            events.popleft()
+
+    def allow(self, key: Hashable, now: int) -> bool:
+        """Record an attempt at tick ``now``; True if under the limit.
+
+        Denied attempts are not recorded (they consume no quota).
+        """
+        self._evict(key, now)
+        events = self._events[key]
+        if len(events) >= self.limit:
+            return False
+        events.append(now)
+        return True
+
+    def remaining(self, key: Hashable, now: int) -> int:
+        """How many further events the key may emit at tick ``now``."""
+        self._evict(key, now)
+        return self.limit - len(self._events[key])
+
+    def reset(self, key: Hashable) -> None:
+        self._events.pop(key, None)

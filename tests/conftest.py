@@ -1,0 +1,76 @@
+"""Shared fixtures.
+
+Heavy simulations are session-scoped: the tiny end-to-end study runs
+once and many integration tests read from it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import Study, StudyConfig
+from repro.netsim import ASKind, ASNRegistry, ClientEndpoint, DeviceFingerprint, NetworkFabric
+from repro.netsim.ipspace import Prefix
+from repro.platform import InstagramPlatform
+from repro.util import derive_rng
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return derive_rng(1234, "tests")
+
+
+@pytest.fixture
+def platform() -> InstagramPlatform:
+    return InstagramPlatform()
+
+
+@pytest.fixture
+def registry() -> ASNRegistry:
+    return ASNRegistry()
+
+
+@pytest.fixture
+def fabric(registry, rng) -> NetworkFabric:
+    return NetworkFabric(registry, rng)
+
+
+@pytest.fixture
+def endpoint(registry) -> ClientEndpoint:
+    """One residential endpoint in a dedicated AS."""
+    autonomous_system = registry.create(
+        "test-res", "USA", ASKind.RESIDENTIAL, [Prefix(0x0A000000, 24)]
+    )
+    address = registry.allocate_address(autonomous_system.asn)
+    return ClientEndpoint(address, autonomous_system.asn, DeviceFingerprint("android"))
+
+
+def make_endpoint(registry: ASNRegistry, asn: int | None = None) -> ClientEndpoint:
+    """Helper for tests needing several endpoints."""
+    if asn is None:
+        base = 0x0A000000 + (len(registry.space.prefixes) << 8)
+        autonomous_system = registry.create(
+            f"test-as-{len(registry.space.prefixes)}",
+            "USA",
+            ASKind.RESIDENTIAL,
+            [Prefix(base, 24)],
+        )
+        asn = autonomous_system.asn
+    address = registry.allocate_address(asn)
+    return ClientEndpoint(address, asn, DeviceFingerprint("android"))
+
+
+@pytest.fixture(scope="session")
+def tiny_study() -> Study:
+    """A fully-run tiny study: honeypots, signatures, 10-day measurement."""
+    study = Study(StudyConfig.tiny(seed=7))
+    study.run_honeypot_phase()
+    study.learn_signatures()
+    study._tiny_dataset = study.run_measurement()  # stored for reuse
+    return study
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset(tiny_study):
+    return tiny_study._tiny_dataset

@@ -1,0 +1,82 @@
+"""Tests for post-block migration (the Section 6.4 epilogue)."""
+
+import pytest
+
+from repro.aas.adaptation import MigrationPolicy
+from repro.aas.base import AccountAutomationService, ServiceDescriptor, ServiceType
+from repro.netsim import ASNRegistry, NetworkFabric
+from repro.platform import InstagramPlatform
+from repro.platform.models import ActionType
+from repro.util import derive_rng
+from repro.util.timeutils import days
+
+
+class _NoopService(AccountAutomationService):
+    def tick(self):
+        pass
+
+
+@pytest.fixture
+def world():
+    platform = InstagramPlatform()
+    fabric = NetworkFabric(ASNRegistry(), derive_rng(81, "f"))
+    descriptor = ServiceDescriptor(
+        name="Mig",
+        service_type=ServiceType.RECIPROCITY_ABUSE,
+        offered_actions=frozenset({ActionType.LIKE, ActionType.FOLLOW}),
+        operating_country="USA",
+        asn_countries=("USA",),
+        endpoints_per_asn=2,
+    )
+    service = _NoopService(descriptor, platform, fabric, derive_rng(81, "s"))
+    return platform, fabric, service
+
+
+class TestMigrationPolicy:
+    def test_no_migration_without_sustained_pressure(self, world):
+        platform, fabric, service = world
+        policy = MigrationPolicy(fabric, derive_rng(81, "m"), patience_ticks=days(14))
+        policy.note_state(ActionType.FOLLOW, True, tick=0)
+        assert not policy.should_migrate(days(13))
+        policy.note_state(ActionType.FOLLOW, False, tick=days(10))  # pressure lifted
+        assert not policy.should_migrate(days(30))
+
+    def test_migration_after_patience(self, world):
+        platform, fabric, service = world
+        policy = MigrationPolicy(fabric, derive_rng(82, "m"), patience_ticks=days(14))
+        policy.note_state(ActionType.LIKE, True, tick=0)
+        assert policy.should_migrate(days(14))
+
+    def test_migrate_swaps_asns(self, world):
+        platform, fabric, service = world
+        policy = MigrationPolicy(fabric, derive_rng(83, "m"))
+        old_asns = service.current_asns()
+        policy.note_state(ActionType.LIKE, True, tick=0)
+        label = policy.migrate(service, tick=days(20))
+        assert "new-hosting" in label
+        assert service.current_asns() != old_asns
+        assert len(policy.migrations) == 1
+        # pressure bookkeeping cleared after migrating
+        assert not policy.should_migrate(days(40))
+
+    def test_proxy_network_migration(self, world):
+        """One service "went so far as to use an extensive proxy network"."""
+        platform, fabric, service = world
+        policy = MigrationPolicy(
+            fabric,
+            derive_rng(84, "m"),
+            use_proxy_network=True,
+            proxy_as_count=10,
+            proxy_exits_per_as=3,
+        )
+        policy.migrate(service, tick=0)
+        assert len(service.current_asns()) == 10  # drastic IP/ASN diversity
+        assert "proxy-network" in policy.migrations[0][1]
+
+    def test_successive_migrations_use_different_countries(self, world):
+        platform, fabric, service = world
+        policy = MigrationPolicy(fabric, derive_rng(85, "m"))
+        policy.migrate(service, tick=0)
+        first = set(service.current_asns())
+        policy.migrate(service, tick=10)
+        assert set(service.current_asns()) != first

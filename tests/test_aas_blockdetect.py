@@ -1,0 +1,122 @@
+"""Tests for service-side block detection and throttle adaptation."""
+
+import pytest
+
+from repro.aas.blockdetect import BlockDetector, BlockDetectorConfig, ThrottleState
+from repro.platform.models import ActionType
+from repro.util.timeutils import days
+
+
+class TestBlockDetector:
+    def _feed(self, detector, action_type, blocked_count, ok_count, tick):
+        for _ in range(blocked_count):
+            detector.observe(action_type, True, tick)
+        for _ in range(ok_count):
+            detector.observe(action_type, False, tick)
+
+    def test_detects_heavy_blocking(self):
+        detector = BlockDetector(BlockDetectorConfig(min_observations=10))
+        self._feed(detector, ActionType.FOLLOW, 10, 10, tick=100)
+        assert detector.blocking_detected(ActionType.FOLLOW, 100)
+
+    def test_quiet_traffic_not_flagged(self):
+        detector = BlockDetector(BlockDetectorConfig(min_observations=10))
+        self._feed(detector, ActionType.FOLLOW, 0, 50, tick=100)
+        assert not detector.blocking_detected(ActionType.FOLLOW, 100)
+
+    def test_needs_minimum_observations(self):
+        detector = BlockDetector(BlockDetectorConfig(min_observations=20))
+        self._feed(detector, ActionType.FOLLOW, 5, 0, tick=100)
+        assert detector.blocked_ratio(ActionType.FOLLOW, 100) == 0.0
+
+    def test_window_eviction(self):
+        config = BlockDetectorConfig(min_observations=5, window_ticks=10)
+        detector = BlockDetector(config)
+        self._feed(detector, ActionType.LIKE, 10, 0, tick=0)
+        assert detector.blocked_ratio(ActionType.LIKE, 20) == 0.0  # evicted
+
+    def test_deployment_lag_gates_detection(self):
+        """Hublaagram's three-week delayed reaction (Figure 6)."""
+        config = BlockDetectorConfig(
+            min_observations=5,
+            deployment_lag_ticks={ActionType.LIKE: days(21)},
+        )
+        detector = BlockDetector(config)
+        self._feed(detector, ActionType.LIKE, 20, 0, tick=0)
+        assert not detector.operational(ActionType.LIKE, days(20))
+        assert detector.operational(ActionType.LIKE, days(21))
+
+    def test_lag_anchored_to_first_block(self):
+        config = BlockDetectorConfig(deployment_lag_ticks={ActionType.LIKE: 100})
+        detector = BlockDetector(config)
+        detector.observe(ActionType.LIKE, False, 0)
+        assert not detector.operational(ActionType.LIKE, 1000)  # never blocked
+        detector.observe(ActionType.LIKE, True, 1000)
+        assert not detector.operational(ActionType.LIKE, 1050)
+        assert detector.operational(ActionType.LIKE, 1100)
+
+    def test_disabled_detector_never_operational(self):
+        detector = BlockDetector(enabled=False)
+        detector.observe(ActionType.FOLLOW, True, 0)
+        assert not detector.operational(ActionType.FOLLOW, 10**6)
+
+    def test_per_type_isolation(self):
+        detector = BlockDetector(BlockDetectorConfig(min_observations=5))
+        self._feed(detector, ActionType.FOLLOW, 10, 0, tick=50)
+        assert detector.blocking_detected(ActionType.FOLLOW, 50)
+        assert not detector.blocking_detected(ActionType.LIKE, 50)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            BlockDetectorConfig(block_ratio_threshold=0.0)
+        with pytest.raises(ValueError):
+            BlockDetectorConfig(min_observations=0)
+
+
+class TestThrottleState:
+    def test_starts_at_base(self):
+        throttle = ThrottleState(base_level=60.0)
+        assert throttle.level == 60.0
+        assert not throttle.suppressed
+
+    def test_backoff_on_blocking(self):
+        throttle = ThrottleState(base_level=60.0)
+        throttle.on_blocking(tick=100)
+        assert throttle.level == pytest.approx(36.0)
+        assert throttle.suppressed
+
+    def test_floor_respected(self):
+        throttle = ThrottleState(base_level=60.0, floor=5.0)
+        for i in range(50):
+            throttle.on_blocking(tick=i)
+        assert throttle.level == 5.0
+
+    def test_probe_recovers_toward_base(self):
+        throttle = ThrottleState(base_level=60.0, probe_interval_ticks=10)
+        throttle.on_blocking(tick=0)
+        level_after_block = throttle.level
+        throttle.on_quiet(tick=5)  # too soon
+        assert throttle.level == level_after_block
+        throttle.on_quiet(tick=10)
+        assert throttle.level > level_after_block
+
+    def test_probing_stops_at_base(self):
+        throttle = ThrottleState(base_level=60.0, probe_interval_ticks=1)
+        throttle.on_blocking(tick=0)
+        for t in range(1, 200):
+            throttle.on_quiet(tick=t)
+        assert throttle.level == 60.0
+        assert not throttle.suppressed
+
+    def test_unsuppressed_quiet_is_noop(self):
+        throttle = ThrottleState(base_level=60.0)
+        throttle.on_quiet(tick=100)
+        assert throttle.level == 60.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ThrottleState(base_level=0)
+        with pytest.raises(ValueError):
+            ThrottleState(base_level=10, backoff_factor=1.5)
+        with pytest.raises(ValueError):
+            ThrottleState(base_level=10, probe_factor=0.9)

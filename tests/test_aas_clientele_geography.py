@@ -1,0 +1,60 @@
+"""Tests for the clientele home-country enrollment bias (Figure 2)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.aas.clientele import ClienteleDriver, ClienteleParams
+from repro.aas.services import make_hublaagram
+from repro.behavior.degree import DegreeDistribution
+from repro.behavior.population import OrganicPopulation, PopulationConfig
+from repro.netsim import ASNRegistry, NetworkFabric
+from repro.platform import InstagramPlatform
+from repro.util import derive_rng
+
+
+@pytest.fixture(scope="module")
+def world():
+    platform = InstagramPlatform()
+    fabric = NetworkFabric(ASNRegistry(), derive_rng(111, "f"))
+    config = PopulationConfig(size=500, out_degree=DegreeDistribution(median=8.0))
+    population = OrganicPopulation.generate(platform, fabric, derive_rng(111, "p"), config)
+    return platform, fabric, population
+
+
+def _country_counts(population, accounts):
+    return Counter(population.profiles[a].country for a in accounts)
+
+
+class TestHomeCountryBias:
+    def test_home_country_overrepresented(self, world):
+        platform, fabric, population = world
+        service = make_hublaagram(platform, fabric, derive_rng(112, "s"))  # IDN
+        driver = ClienteleDriver(
+            service,
+            population,
+            derive_rng(112, "c"),
+            ClienteleParams(initial_customers=150, home_country_weight=6.0),
+        )
+        driver.seed_initial()
+        counts = _country_counts(population, service.customers)
+        base = _country_counts(population, population.account_ids)
+        customer_share = counts["IDN"] / sum(counts.values())
+        population_share = base["IDN"] / sum(base.values())
+        assert customer_share > population_share * 1.8
+
+    def test_no_bias_when_weight_one(self, world):
+        platform, fabric, population = world
+        service = make_hublaagram(platform, fabric, derive_rng(113, "s"))
+        driver = ClienteleDriver(
+            service,
+            population,
+            derive_rng(113, "c"),
+            ClienteleParams(initial_customers=150, home_country_weight=1.0),
+        )
+        driver.seed_initial()
+        counts = _country_counts(population, service.customers)
+        base = _country_counts(population, population.account_ids)
+        customer_share = counts["IDN"] / sum(counts.values())
+        population_share = base["IDN"] / sum(base.values())
+        assert abs(customer_share - population_share) < 0.12

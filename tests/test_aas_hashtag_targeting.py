@@ -1,0 +1,96 @@
+"""Tests for hashtag-restricted targeting (paper Section 3.3.1)."""
+
+import pytest
+
+from repro.aas.services import make_boostgram
+from repro.behavior.degree import DegreeDistribution
+from repro.behavior.population import OrganicPopulation, PopulationConfig
+from repro.netsim import ASNRegistry, NetworkFabric
+from repro.platform import InstagramPlatform
+from repro.platform.models import ActionStatus, ActionType
+from repro.util import derive_rng
+from repro.util.timeutils import days
+
+
+@pytest.fixture(scope="module")
+def world():
+    platform = InstagramPlatform()
+    fabric = NetworkFabric(ASNRegistry(), derive_rng(131, "f"))
+    config = PopulationConfig(
+        size=300,
+        out_degree=DegreeDistribution(median=10.0),
+        hashtag_vocabulary=("dogs", "cats", "food"),
+    )
+    population = OrganicPopulation.generate(platform, fabric, derive_rng(131, "p"), config)
+    service = make_boostgram(platform, fabric, derive_rng(131, "s"), population.account_ids)
+    return platform, population, service
+
+
+class TestHashtagSearch:
+    def test_accounts_posting(self, world):
+        platform, population, service = world
+        dog_posters = platform.media.accounts_posting("dogs")
+        assert dog_posters
+        for account in list(dog_posters)[:20]:
+            tags = {t for m in platform.media.media_of(account) for t in m.hashtags}
+            assert "dogs" in tags
+
+    def test_case_insensitive(self, world):
+        platform, population, service = world
+        assert platform.media.accounts_posting("DOGS") == platform.media.accounts_posting("dogs")
+
+    def test_unknown_tag_empty(self, world):
+        platform, population, service = world
+        assert platform.media.accounts_posting("nonexistent") == set()
+
+
+class TestHashtagTargetedAutomation:
+    def test_targets_restricted_to_audience(self, world):
+        platform, population, service = world
+        customer = platform.create_account("tagcust", "pw")
+        for _ in range(3):
+            platform.media.create(customer.account_id, 0)
+        service.register_customer(
+            "tagcust",
+            "pw",
+            {ActionType.LIKE, ActionType.FOLLOW},
+            trial_ticks=days(3),
+            target_hashtags=("dogs",),
+        )
+        for _ in range(48):
+            service.tick()
+            platform.clock.advance(1)
+        audience = platform.media.accounts_posting("dogs")
+        outbound = [
+            r
+            for r in platform.log.by_actor(customer.account_id)
+            if r.status is not ActionStatus.BLOCKED and r.target_account is not None
+        ]
+        assert outbound
+        for record in outbound:
+            assert record.target_account in audience
+
+    def test_hashtags_normalized_lowercase(self, world):
+        platform, population, service = world
+        customer = platform.create_account("tagcust2", "pw")
+        record = service.register_customer(
+            "tagcust2", "pw", {ActionType.LIKE}, trial_ticks=days(1),
+            target_hashtags=("CaTs",),
+        )
+        assert record.target_hashtags == ("cats",)
+
+    def test_unrestricted_customer_roams(self, world):
+        platform, population, service = world
+        customer = platform.create_account("freecust", "pw")
+        service.register_customer("freecust", "pw", {ActionType.FOLLOW}, trial_ticks=days(3))
+        for _ in range(48):
+            service.tick()
+            platform.clock.advance(1)
+        targets = {
+            r.target_account
+            for r in platform.log.by_actor(customer.account_id)
+            if r.target_account is not None
+        }
+        # an unrestricted customer reaches beyond any single tag audience
+        for tag in ("dogs", "cats", "food"):
+            assert not targets <= platform.media.accounts_posting(tag)

@@ -1,0 +1,59 @@
+"""Tests for propensity and calibration helpers."""
+
+import pytest
+
+from repro.behavior.calibration import (
+    MAX_PROPENSITY,
+    MIN_PROPENSITY,
+    calibrate_reciprocity_params,
+    mean_propensity,
+    propensity_multiplier,
+)
+from repro.behavior.reciprocity import ReciprocityParams
+
+
+class TestPropensityMultiplier:
+    def test_median_account_is_neutral(self):
+        assert propensity_multiplier(100, 200, 100, 200) == pytest.approx(1.0)
+
+    def test_high_out_degree_raises_propensity(self):
+        assert propensity_multiplier(400, 200, 100, 200) > 1.0
+
+    def test_high_in_degree_lowers_propensity(self):
+        assert propensity_multiplier(100, 800, 100, 200) < 1.0
+
+    def test_clipping(self):
+        assert propensity_multiplier(10**6, 0, 10, 10) == MAX_PROPENSITY
+        assert propensity_multiplier(0, 10**6, 10, 10) == MIN_PROPENSITY
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            propensity_multiplier(1, 1, 0, 10)
+        with pytest.raises(ValueError):
+            propensity_multiplier(-1, 1, 10, 10)
+
+    def test_aas_target_profile_is_attractive(self):
+        """High out-degree + low in-degree (the Section 5.3 target bias)
+        yields above-average propensity."""
+        target = propensity_multiplier(684, 498, 465, 796)
+        assert target > 1.2
+
+
+class TestCalibration:
+    def test_mean_propensity(self):
+        assert mean_propensity([1.0, 2.0, 3.0]) == 2.0
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError):
+            mean_propensity([])
+
+    def test_calibration_inverts_pool_mean(self):
+        params = ReciprocityParams(like_to_like=0.02)
+        calibrated = calibrate_reciprocity_params(params, pool_mean_propensity=2.0)
+        assert calibrated.like_to_like == pytest.approx(0.01)
+        # effective rate for the pool is restored:
+        assert calibrated.like_to_like * 2.0 == pytest.approx(params.like_to_like)
+
+    def test_invalid_mean_rejected(self):
+        with pytest.raises(ValueError):
+            calibrate_reciprocity_params(ReciprocityParams(), 0.0)

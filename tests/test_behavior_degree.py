@@ -1,0 +1,61 @@
+"""Tests for repro.behavior.degree."""
+
+import numpy as np
+import pytest
+
+from repro.behavior.degree import DegreeDistribution
+from repro.util import derive_rng
+
+
+class TestDegreeDistribution:
+    def test_median_approximately_respected(self):
+        dist = DegreeDistribution(median=100.0, sigma=1.0)
+        rng = derive_rng(5, "deg")
+        sample = dist.sample(rng, 20_000)
+        assert 90 <= np.median(sample) <= 110
+
+    def test_clipping(self):
+        dist = DegreeDistribution(median=100.0, sigma=2.0, max_degree=150)
+        rng = derive_rng(5, "deg2")
+        sample = dist.sample(rng, 5_000)
+        assert sample.max() <= 150
+        assert sample.min() >= 0
+
+    def test_integer_output(self):
+        dist = DegreeDistribution(median=10.0)
+        sample = dist.sample(derive_rng(1, "deg3"), 10)
+        assert sample.dtype.kind == "i"
+
+    def test_zero_n(self):
+        dist = DegreeDistribution(median=10.0)
+        assert dist.sample(derive_rng(1, "deg4"), 0).size == 0
+
+    def test_negative_n_rejected(self):
+        dist = DegreeDistribution(median=10.0)
+        with pytest.raises(ValueError):
+            dist.sample(derive_rng(1, "deg5"), -1)
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            DegreeDistribution(median=0)
+        with pytest.raises(ValueError):
+            DegreeDistribution(median=10, sigma=0)
+        with pytest.raises(ValueError):
+            DegreeDistribution(median=10, max_degree=0)
+
+    def test_scaled(self):
+        dist = DegreeDistribution(median=100.0, sigma=1.3, max_degree=1000)
+        scaled = dist.scaled(0.1)
+        assert scaled.median == pytest.approx(10.0)
+        assert scaled.sigma == 1.3
+        assert scaled.max_degree == 100
+
+    def test_scaled_invalid_factor(self):
+        with pytest.raises(ValueError):
+            DegreeDistribution(median=10).scaled(0)
+
+    def test_heavy_tail(self):
+        """Log-normal with sigma>=1 should produce a long right tail."""
+        dist = DegreeDistribution(median=50.0, sigma=1.2)
+        sample = dist.sample(derive_rng(2, "deg6"), 20_000)
+        assert np.mean(sample) > np.median(sample) * 1.5

@@ -1,0 +1,112 @@
+"""Tests for the organic activity driver."""
+
+import pytest
+
+from repro.behavior.degree import DegreeDistribution
+from repro.behavior.organic import OrganicActivityDriver, OrganicActivityParams
+from repro.behavior.population import OrganicPopulation, PopulationConfig
+from repro.behavior.reciprocity import ReciprocityModel, ReciprocityParams
+from repro.netsim import ASNRegistry, NetworkFabric
+from repro.platform import InstagramPlatform
+from repro.platform.models import ActionType
+from repro.util import derive_rng
+
+
+def build_world(size=150, **recip_overrides):
+    platform = InstagramPlatform()
+    fabric = NetworkFabric(ASNRegistry(), derive_rng(21, "f"))
+    config = PopulationConfig(
+        size=size,
+        out_degree=DegreeDistribution(median=10.0, sigma=0.9),
+        check_rate=(0.3, 0.6),  # fast checkers: tests need prompt responses
+    )
+    population = OrganicPopulation.generate(platform, fabric, derive_rng(21, "p"), config)
+    model = ReciprocityModel(ReciprocityParams(**recip_overrides), derive_rng(21, "m"))
+    driver = OrganicActivityDriver(platform, population, model, derive_rng(21, "d"))
+    return platform, population, driver
+
+
+class TestBackgroundActivity:
+    def test_produces_actions(self):
+        platform, population, driver = build_world()
+        for _ in range(24):
+            driver.tick()
+            platform.clock.advance(1)
+        assert driver.background_actions > 0
+        assert len(platform.log) >= driver.background_actions
+
+    def test_background_targets_population_only(self):
+        platform, population, driver = build_world()
+        outsider = platform.create_account("stranger", "pw")
+        for _ in range(48):
+            driver.tick()
+            platform.clock.advance(1)
+        assert platform.log.inbound(outsider.account_id) == []
+
+    def test_actions_use_home_endpoints(self):
+        platform, population, driver = build_world()
+        for _ in range(24):
+            driver.tick()
+            platform.clock.advance(1)
+        for record in list(platform.log)[:100]:
+            profile = population.profiles[record.actor]
+            assert record.endpoint.asn == profile.endpoint.asn
+
+
+class TestReciprocity:
+    def _inject_follow(self, platform, population, target_pool=None):
+        """An external account follows many organic users."""
+        fabric_rng = derive_rng(99, "x")
+        stranger = platform.create_account("ext", "pw")
+        for _ in range(10):
+            platform.media.create(stranger.account_id, 0)
+        profile0 = population.profiles[population.account_ids[0]]
+        session = platform.login("ext", "pw", profile0.endpoint)
+        targets = target_pool or population.account_ids[:80]
+        for target in targets:
+            platform.follow(session, target, profile0.endpoint)
+        return stranger
+
+    def test_follow_back_happens(self):
+        platform, population, driver = build_world(follow_to_follow=0.4)
+        stranger = self._inject_follow(platform, population)
+        for _ in range(72):
+            driver.tick()
+            platform.clock.advance(1)
+        followers = platform.graph.followers(stranger.account_id)
+        assert len(followers) >= 5
+        assert driver.reciprocal_actions >= len(followers)
+
+    def test_no_like_response_to_follows(self):
+        platform, population, driver = build_world(follow_to_follow=0.4)
+        stranger = self._inject_follow(platform, population)
+        for _ in range(72):
+            driver.tick()
+            platform.clock.advance(1)
+        inbound_likes = [
+            r
+            for r in platform.log.inbound(stranger.account_id)
+            if r.action_type is ActionType.LIKE
+        ]
+        assert inbound_likes == []
+
+    def test_notifications_do_not_go_stale(self):
+        platform, population, driver = build_world()
+        self._inject_follow(platform, population)
+        for _ in range(96):
+            driver.tick()
+            platform.clock.advance(1)
+        # Background activity keeps minting fresh notifications, but with
+        # check rates of 0.3-0.6/hour nothing should sit unread for days.
+        now = platform.clock.now
+        for account in platform.notifications.recipients_with_pending():
+            if account not in population.profiles:
+                continue
+            for notification in platform.notifications.pending(account):
+                assert now - notification.tick < 72
+
+
+class TestParams:
+    def test_invalid_like_share(self):
+        with pytest.raises(ValueError):
+            OrganicActivityParams(background_like_share=1.5)

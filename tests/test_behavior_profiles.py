@@ -1,0 +1,57 @@
+"""Tests for account attractiveness and the honeypot anchors."""
+
+import pytest
+
+from repro.behavior.profiles import OrganicProfile, account_attractiveness
+from repro.behavior.reciprocity import EMPTY_ATTRACTIVENESS, LIVED_IN_ATTRACTIVENESS
+from repro.honeypot.framework import HoneypotFramework
+from repro.netsim import ASNRegistry, NetworkFabric
+from repro.netsim.client import ClientEndpoint, DeviceFingerprint
+from repro.platform import InstagramPlatform
+from repro.util import derive_rng
+
+
+class TestOrganicProfileValidation:
+    def _endpoint(self):
+        return ClientEndpoint(1, 1, DeviceFingerprint("android"))
+
+    def test_check_rate_must_be_probability(self):
+        with pytest.raises(ValueError):
+            OrganicProfile(1, "USA", self._endpoint(), "pw", check_rate=1.5, propensity=1, background_rate=1)
+
+    def test_negative_propensity_rejected(self):
+        with pytest.raises(ValueError):
+            OrganicProfile(1, "USA", self._endpoint(), "pw", check_rate=0.1, propensity=-1, background_rate=1)
+
+    def test_negative_background_rejected(self):
+        with pytest.raises(ValueError):
+            OrganicProfile(1, "USA", self._endpoint(), "pw", check_rate=0.1, propensity=1, background_rate=-1)
+
+
+class TestAttractivenessAnchors:
+    """The honeypot kinds must land near the response model's anchors —
+    this is the contract that makes the Table 5 lived-in effect emerge."""
+
+    @pytest.fixture
+    def framework(self):
+        platform = InstagramPlatform()
+        fabric = NetworkFabric(ASNRegistry(), derive_rng(121, "f"))
+        return platform, HoneypotFramework(platform, fabric, derive_rng(121, "h"))
+
+    def test_empty_honeypot_near_empty_anchor(self, framework):
+        platform, fw = framework
+        honeypot = fw.create_empty()
+        score = account_attractiveness(platform, honeypot.account_id)
+        assert abs(score - EMPTY_ATTRACTIVENESS) < 0.08
+
+    def test_lived_in_honeypot_near_lived_in_anchor(self, framework):
+        platform, fw = framework
+        highs = [fw.create_empty().account_id for _ in range(20)]
+        honeypot = fw.create_lived_in(high_profile_pool=highs)
+        score = account_attractiveness(platform, honeypot.account_id)
+        assert abs(score - LIVED_IN_ATTRACTIVENESS) < 0.1
+
+    def test_bare_account_scores_lowest(self, framework):
+        platform, fw = framework
+        bare = platform.create_account("bare", "pw")
+        assert account_attractiveness(platform, bare.account_id) < EMPTY_ATTRACTIVENESS

@@ -1,0 +1,69 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import PRESETS, build_parser, cmd_list_presets, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+    def test_run_study_defaults(self):
+        args = build_parser().parse_args(["run-study"])
+        assert args.preset == "tiny"
+        assert args.seed == 42
+        assert args.measurement_days == 0
+
+    def test_preset_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run-study", "--preset", "gigantic"])
+
+    def test_interventions_args(self):
+        args = build_parser().parse_args(
+            ["run-interventions", "--preset", "small", "--narrow-days", "20"]
+        )
+        assert args.narrow_days == 20
+        assert args.preset == "small"
+
+
+class TestListPresets:
+    def test_lists_all(self):
+        out = io.StringIO()
+        args = build_parser().parse_args(["list-presets"])
+        assert cmd_list_presets(args, out) == 0
+        text = out.getvalue()
+        for preset in PRESETS:
+            assert preset in text
+
+    def test_main_entry(self, capsys):
+        assert main(["list-presets"]) == 0
+        captured = capsys.readouterr()
+        assert "paper" in captured.out
+
+
+@pytest.mark.slow
+class TestRunStudy:
+    def test_run_study_tiny_produces_all_tables(self, tmp_path):
+        output = tmp_path / "report.txt"
+        code = main(
+            [
+                "run-study",
+                "--preset",
+                "tiny",
+                "--seed",
+                "5",
+                "--measurement-days",
+                "6",
+                "--output",
+                str(output),
+            ]
+        )
+        assert code == 0
+        text = output.read_text()
+        for marker in ("Table 1", "Table 5", "Table 9", "Table 11", "Figure 2", "Figures 3-4"):
+            assert marker in text

@@ -1,0 +1,46 @@
+"""Unit tests for the Figure 5-7 text renderers (synthetic inputs)."""
+
+from repro.core import reporting as R
+
+
+class TestRenderFig5:
+    def test_groups_and_threshold_shown(self):
+        result = {
+            "service": "Boostgram",
+            "threshold": 28.0,
+            "series": {
+                "block": {0: 30.0, 1: 18.0, 2: 20.0},
+                "control": {0: 31.0, 1: 30.0, 2: 29.0},
+            },
+        }
+        text = R.render_fig5(result)
+        assert "threshold=28.0" in text
+        assert "block" in text and "control" in text
+        assert "mean=" in text
+
+    def test_empty_group_skipped(self):
+        result = {"service": "X", "threshold": None, "series": {"block": {}}}
+        text = R.render_fig5(result)
+        assert "Figure 5" in text
+
+
+class TestRenderFig6:
+    def test_days_listed(self):
+        result = {"service": "Hublaagram", "series": {3: 0.5, 4: 0.25}}
+        text = R.render_fig6(result)
+        assert "day   3: 50.0%" in text
+        assert "day   4: 25.0%" in text
+
+
+class TestRenderFig7:
+    def test_weeks_and_switch(self):
+        result = {
+            "service": "Boostgram",
+            "switch_day": 6,
+            "weekly_group_shares": {0: {"block": 0.9, "control": 0.1}},
+            "daily_eligible_proportion": {0: 0.4},
+        }
+        text = R.render_fig7(result)
+        assert "switch day 6" in text
+        assert "week 0" in text
+        assert "block 90.0%" in text

@@ -1,0 +1,35 @@
+"""Tests for the periodic signal-stability verification (Section 5)."""
+
+import pytest
+
+from repro.core import Study, StudyConfig
+from repro.core.study import INSTA_STAR
+
+
+@pytest.fixture(scope="module")
+def verified_study():
+    study = Study(StudyConfig.tiny(seed=21))
+    study.run_honeypot_phase()
+    study.learn_signatures()
+    study.run_measurement(days_=3)
+    verdicts = study.verify_signal_stability(probe_days=1)
+    return study, verdicts
+
+
+class TestSignalStability:
+    def test_requires_signatures(self):
+        study = Study(StudyConfig.tiny(seed=22))
+        with pytest.raises(RuntimeError):
+            study.verify_signal_stability()
+
+    def test_signals_remain_consistent(self, verified_study):
+        study, verdicts = verified_study
+        assert verdicts.get(INSTA_STAR) is True
+        assert verdicts.get("Boostgram") is True
+        assert verdicts.get("Hublaagram") is True
+
+    def test_probe_honeypots_deleted_after_check(self, verified_study):
+        study, verdicts = verified_study
+        probes = [h for h in study.honeypots.accounts if h.campaign.startswith("probe-")]
+        assert probes
+        assert all(h.deleted for h in probes)

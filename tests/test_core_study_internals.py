@@ -1,0 +1,121 @@
+"""Unit tests for Study construction internals (no long simulations)."""
+
+import pytest
+
+from repro.aas.base import ServiceType
+from repro.core import Study, StudyConfig
+from repro.core.config import ServicePlans
+from repro.interventions.thresholds import CountSubject
+from repro.netsim.asn import ASKind
+
+
+@pytest.fixture(scope="module")
+def built_study():
+    """A tiny study, built but not run."""
+    return Study(StudyConfig.tiny(seed=99))
+
+
+class TestWorldConstruction:
+    def test_all_five_services_built(self, built_study):
+        assert set(built_study.services) == {
+            "Instalex",
+            "Instazood",
+            "Boostgram",
+            "Hublaagram",
+            "Followersgratis",
+        }
+
+    def test_insta_franchises_share_infrastructure(self, built_study):
+        instalex = built_study.services["Instalex"]
+        instazood = built_study.services["Instazood"]
+        assert instalex.current_asns() == instazood.current_asns()
+        assert instalex.fingerprint.variant == instazood.fingerprint.variant
+
+    def test_other_services_have_disjoint_asns(self, built_study):
+        boost = built_study.services["Boostgram"].current_asns()
+        insta = built_study.services["Instalex"].current_asns()
+        hub = built_study.services["Hublaagram"].current_asns()
+        assert not boost & insta
+        assert not boost & hub
+
+    def test_service_asns_are_hosting(self, built_study):
+        for service in built_study.services.values():
+            for asn in service.current_asns():
+                assert built_study.registry.get(asn).kind is ASKind.HOSTING
+
+    def test_vpn_users_blend_into_service_asns(self, built_study):
+        service_asns = {
+            asn for s in built_study.services.values() for asn in s.current_asns()
+        }
+        vpn_users = [
+            p
+            for p in built_study.population.profiles.values()
+            if p.endpoint.asn in service_asns
+        ]
+        expected = int(len(built_study.population) * built_study.config.vpn_fraction)
+        assert len(vpn_users) == expected
+        # their client stack is stock — they are ordinary users on VPNs
+        assert all(not p.endpoint.fingerprint.variant.startswith("aas-") for p in vpn_users)
+
+    def test_curated_pool_targets_affinity_users(self, built_study):
+        pool = built_study._instalex_curated_pool()
+        assert pool is not None
+        profiles = built_study.population.profiles
+        strong = sum(1 for a in pool.accounts if profiles[a].follow_on_like_affinity > 1)
+        assert strong / len(pool.accounts) > 0.5
+
+    def test_clientele_seeded(self, built_study):
+        for name, driver in built_study.clientele.items():
+            assert len(built_study.services[name].customers) > 0
+
+    def test_subject_by_asn(self, built_study):
+        subjects = built_study._subject_by_asn()
+        for name, service in built_study.services.items():
+            expected = (
+                CountSubject.TARGET
+                if service.descriptor.service_type is ServiceType.COLLUSION_NETWORK
+                else CountSubject.ACTOR
+            )
+            for asn in service.current_asns():
+                assert subjects[asn] is expected
+
+    def test_calibration_applied(self, built_study):
+        """Base rates are scaled down by the targeted pool's propensity."""
+        assert (
+            built_study.reciprocity_model.params.follow_to_follow
+            <= built_study.config.reciprocity.follow_to_follow
+        )
+
+    def test_high_profile_pool_is_top_in_degree(self, built_study):
+        pool = built_study._high_profile_pool()
+        platform = built_study.platform
+        floor = min(platform.follower_count(a) for a in pool)
+        sample = built_study.population.account_ids[:100]
+        below = sum(1 for a in sample if platform.follower_count(a) > floor)
+        assert below <= len(pool)
+
+
+class TestPhaseOrdering:
+    def test_measurement_requires_signatures(self):
+        study = Study(StudyConfig.tiny(seed=98))
+        with pytest.raises(RuntimeError):
+            study.run_measurement()
+
+    def test_interventions_require_signatures(self):
+        study = Study(StudyConfig.tiny(seed=97))
+        with pytest.raises(RuntimeError):
+            study.run_narrow_intervention()
+
+    def test_disabled_service_absent(self):
+        config = StudyConfig.tiny(seed=96)
+        config = type(config)(
+            seed=96,
+            population=config.population,
+            plans=ServicePlans(followersgratis=None, boostgram=None),
+            honeypot_days=config.honeypot_days,
+            measurement_days=config.measurement_days,
+        )
+        study = Study(config)
+        assert "Followersgratis" not in study.services
+        assert "Boostgram" not in study.services
+        assert "Hublaagram" in study.services

@@ -1,0 +1,26 @@
+"""Cross-service customer overlap (paper Section 5.1, "Popularity").
+
+"Overall, account overlap is small. Fewer than 200 accounts generate
+any activity in the three AASs, 1,963 participate in two distinct
+Reciprocity Abuse AASs, and 4,485 accounts participate in at least one
+Reciprocity Abuse AAS as well as the Hublaagram collusion network."
+"""
+
+from repro.detection.customers import PopulationDynamics
+
+
+class TestOverlap:
+    def test_overlap_is_small(self, tiny_dataset):
+        analytics = list(tiny_dataset.analytics.values())
+        dynamics = PopulationDynamics(analytics)
+        union = set()
+        for entry in analytics:
+            union |= set(entry.customers)
+        two_plus = dynamics.overlap(2)
+        # overlap is a small fraction of the overall customer union
+        # (paper: a few thousand of >1.1M)
+        assert len(two_plus) <= 0.35 * len(union)
+
+    def test_triple_overlap_smaller_than_double(self, tiny_dataset):
+        dynamics = PopulationDynamics(list(tiny_dataset.analytics.values()))
+        assert len(dynamics.overlap(3)) <= len(dynamics.overlap(2))

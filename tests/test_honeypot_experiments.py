@@ -1,0 +1,102 @@
+"""Tests for the reciprocation-quantification experiment (Table 5)."""
+
+import pytest
+
+from repro.aas.services import make_boostgram
+from repro.behavior.degree import DegreeDistribution
+from repro.behavior.organic import OrganicActivityDriver
+from repro.behavior.population import OrganicPopulation, PopulationConfig
+from repro.behavior.reciprocity import ReciprocityModel, ReciprocityParams
+from repro.honeypot.experiments import ReciprocationExperiment
+from repro.honeypot.framework import HoneypotFramework, HoneypotKind
+from repro.netsim import ASNRegistry, NetworkFabric
+from repro.platform import InstagramPlatform
+from repro.platform.models import ActionType
+from repro.util import derive_rng
+from repro.util.timeutils import days
+
+
+@pytest.fixture(scope="module")
+def experiment_world():
+    platform = InstagramPlatform()
+    fabric = NetworkFabric(ASNRegistry(), derive_rng(101, "f"))
+    config = PopulationConfig(
+        size=250,
+        out_degree=DegreeDistribution(median=10.0, sigma=0.9),
+        check_rate=(0.3, 0.6),
+    )
+    population = OrganicPopulation.generate(platform, fabric, derive_rng(101, "p"), config)
+    service = make_boostgram(platform, fabric, derive_rng(101, "s"), population.account_ids)
+    model = ReciprocityModel(ReciprocityParams(follow_to_follow=0.2), derive_rng(101, "m"))
+    organic = OrganicActivityDriver(platform, population, model, derive_rng(101, "o"))
+    framework = HoneypotFramework(platform, fabric, derive_rng(101, "h"))
+    experiment = ReciprocationExperiment(framework, derive_rng(101, "e"))
+    experiment.register_batch(service, ActionType.FOLLOW, empty=3, lived_in=1)
+    experiment.register_batch(service, ActionType.LIKE, empty=3, lived_in=1)
+    for _ in range(days(3)):
+        service.tick()
+        organic.tick()
+        platform.clock.advance(1)
+    return platform, service, experiment, framework
+
+
+class TestRegistration:
+    def test_rejects_unoffered_action(self, experiment_world):
+        platform, service, experiment, framework = experiment_world
+        with pytest.raises(ValueError):
+            experiment.register_batch(service, ActionType.COMMENT)  # Boostgram: no comments
+
+    def test_batch_composition(self, experiment_world):
+        platform, service, experiment, framework = experiment_world
+        kinds = [h.kind for h in framework.accounts]
+        assert kinds.count(HoneypotKind.EMPTY) == 6
+        assert kinds.count(HoneypotKind.LIVED_IN) == 2
+
+
+class TestResults:
+    def test_cells_cover_service_kind_action(self, experiment_world):
+        platform, service, experiment, framework = experiment_world
+        results = experiment.results()
+        keys = {(r.service, r.kind, r.outbound_type) for r in results}
+        assert (service.name, HoneypotKind.EMPTY, ActionType.FOLLOW) in keys
+        assert (service.name, HoneypotKind.LIVED_IN, ActionType.LIKE) in keys
+        assert len(keys) == 4
+
+    def test_outbound_counted(self, experiment_world):
+        platform, service, experiment, framework = experiment_world
+        for result in experiment.results():
+            assert result.outbound_count > 0
+
+    def test_follow_honeypots_receive_follow_backs(self, experiment_world):
+        platform, service, experiment, framework = experiment_world
+        follow_cells = [r for r in experiment.results() if r.outbound_type is ActionType.FOLLOW]
+        total_follow_backs = sum(r.inbound_follows for r in follow_cells)
+        assert total_follow_backs > 0
+        for cell in follow_cells:
+            assert 0.0 <= cell.follow_ratio <= 1.0
+
+    def test_follow_honeypots_get_no_likes(self, experiment_world):
+        """Paper: users never reciprocate likes to follows."""
+        platform, service, experiment, framework = experiment_world
+        follow_cells = [r for r in experiment.results() if r.outbound_type is ActionType.FOLLOW]
+        assert sum(r.inbound_likes for r in follow_cells) == 0
+
+    def test_ratio_zero_when_no_outbound(self):
+        from repro.honeypot.experiments import ReciprocationResult
+
+        result = ReciprocationResult(
+            service="X",
+            kind=HoneypotKind.EMPTY,
+            outbound_type=ActionType.LIKE,
+            outbound_count=0,
+            inbound_likes=0,
+            inbound_follows=0,
+            honeypots=1,
+        )
+        assert result.like_ratio == 0.0
+
+    def test_teardown_deletes_experiment_honeypots(self, experiment_world):
+        platform, service, experiment, framework = experiment_world
+        deleted = experiment.teardown()
+        assert deleted == len(framework.accounts)
+        assert all(h.deleted for h in framework.accounts)

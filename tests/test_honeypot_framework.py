@@ -1,0 +1,108 @@
+"""Tests for the honeypot account framework."""
+
+import pytest
+
+from repro.honeypot.framework import HoneypotFramework, HoneypotKind, PHOTO_CATEGORIES
+from repro.netsim import ASNRegistry, NetworkFabric
+from repro.platform import InstagramPlatform
+from repro.util import derive_rng
+
+
+@pytest.fixture
+def world():
+    platform = InstagramPlatform()
+    fabric = NetworkFabric(ASNRegistry(), derive_rng(91, "f"))
+    framework = HoneypotFramework(platform, fabric, derive_rng(91, "h"))
+    return platform, fabric, framework
+
+
+class TestCreation:
+    def test_empty_has_minimum_photos(self, world):
+        platform, fabric, framework = world
+        honeypot = framework.create_empty()
+        media = platform.media.media_of(honeypot.account_id)
+        assert len(media) >= 10
+        assert honeypot.category in PHOTO_CATEGORIES
+        account = platform.get_account(honeypot.account_id)
+        assert account.profile.completeness == 0.0
+
+    def test_empty_needs_ten_photos(self, world):
+        platform, fabric, framework = world
+        with pytest.raises(ValueError):
+            framework.create_empty(photos=5)
+
+    def test_lived_in_fully_populated(self, world):
+        platform, fabric, framework = world
+        highs = [framework.create_empty().account_id for _ in range(25)]
+        honeypot = framework.create_lived_in(high_profile_pool=highs)
+        account = platform.get_account(honeypot.account_id)
+        assert account.profile.completeness == 1.0
+        assert 10 <= platform.following_count(honeypot.account_id) <= 20
+        assert platform.follower_count(honeypot.account_id) == 0  # no followers at creation
+
+    def test_lived_in_setup_follows_marked_self(self, world):
+        platform, fabric, framework = world
+        highs = [framework.create_empty().account_id for _ in range(15)]
+        honeypot = framework.create_lived_in(high_profile_pool=highs)
+        assert framework.outbound_actions(honeypot) == []
+        assert len(framework.outbound_actions(honeypot, include_self=True)) >= 10
+
+    def test_inactive_account(self, world):
+        platform, fabric, framework = world
+        honeypot = framework.create_inactive()
+        assert honeypot.kind is HoneypotKind.INACTIVE
+        assert framework.baseline_is_quiet()
+
+    def test_endpoints_are_residential(self, world):
+        platform, fabric, framework = world
+        honeypot = framework.create_empty()
+        registry = fabric.registry
+        from repro.netsim.asn import ASKind
+
+        assert registry.get(honeypot.endpoint.asn).kind in (ASKind.RESIDENTIAL, ASKind.MOBILE)
+
+
+class TestMonitoring:
+    def test_inbound_attribution(self, world, endpoint):
+        platform, fabric, framework = world
+        honeypot = framework.create_empty()
+        stranger = platform.create_account("s", "pw")
+        session = platform.login("s", "pw", endpoint)
+        platform.follow(session, honeypot.account_id, endpoint)
+        inbound = framework.inbound_actions(honeypot)
+        assert len(inbound) == 1
+
+    def test_baseline_breaks_if_inactive_receives(self, world, endpoint):
+        platform, fabric, framework = world
+        honeypot = framework.create_inactive()
+        stranger = platform.create_account("s", "pw")
+        session = platform.login("s", "pw", endpoint)
+        platform.follow(session, honeypot.account_id, endpoint)
+        assert not framework.baseline_is_quiet()
+
+
+class TestDeletion:
+    def test_delete_scrubs_platform_state(self, world, endpoint):
+        platform, fabric, framework = world
+        honeypot = framework.create_empty()
+        stranger = platform.create_account("s", "pw")
+        session = platform.login("s", "pw", endpoint)
+        platform.follow(session, honeypot.account_id, endpoint)
+        framework.delete(honeypot)
+        assert honeypot.deleted
+        assert not platform.account_exists(honeypot.account_id)
+        assert platform.following_count(stranger.account_id) == 0
+
+    def test_delete_all_by_campaign(self, world):
+        platform, fabric, framework = world
+        framework.create_empty(campaign="a")
+        framework.create_empty(campaign="a")
+        framework.create_empty(campaign="b")
+        assert framework.delete_all(campaign="a") == 2
+        assert framework.delete_all() == 1
+
+    def test_double_delete_is_noop(self, world):
+        platform, fabric, framework = world
+        honeypot = framework.create_empty()
+        framework.delete(honeypot)
+        framework.delete(honeypot)  # no error

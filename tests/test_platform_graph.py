@@ -1,0 +1,73 @@
+"""Tests for repro.platform.graph."""
+
+import pytest
+
+from repro.platform.errors import InvalidActionError
+from repro.platform.graph import FollowerGraph
+
+
+class TestFollowerGraph:
+    def test_follow_creates_edge(self):
+        graph = FollowerGraph()
+        graph.follow(1, 2)
+        assert graph.is_following(1, 2)
+        assert not graph.is_following(2, 1)
+        assert graph.out_degree(1) == 1
+        assert graph.in_degree(2) == 1
+        assert graph.edge_count == 1
+
+    def test_self_follow_rejected(self):
+        graph = FollowerGraph()
+        with pytest.raises(InvalidActionError):
+            graph.follow(1, 1)
+
+    def test_duplicate_follow_rejected(self):
+        graph = FollowerGraph()
+        graph.follow(1, 2)
+        with pytest.raises(InvalidActionError):
+            graph.follow(1, 2)
+
+    def test_unfollow_removes_edge(self):
+        graph = FollowerGraph()
+        graph.follow(1, 2)
+        graph.unfollow(1, 2)
+        assert not graph.is_following(1, 2)
+        assert graph.edge_count == 0
+
+    def test_unfollow_missing_edge_rejected(self):
+        graph = FollowerGraph()
+        with pytest.raises(InvalidActionError):
+            graph.unfollow(1, 2)
+
+    def test_followers_following_sets(self):
+        graph = FollowerGraph()
+        graph.follow(1, 3)
+        graph.follow(2, 3)
+        graph.follow(3, 1)
+        assert graph.followers(3) == {1, 2}
+        assert graph.following(3) == {1}
+
+    def test_returned_sets_are_snapshots(self):
+        graph = FollowerGraph()
+        graph.follow(1, 2)
+        snapshot = graph.following(1)
+        graph.unfollow(1, 2)
+        assert 2 in snapshot  # frozen copy unaffected
+
+    def test_drop_account_removes_both_directions(self):
+        graph = FollowerGraph()
+        graph.follow(1, 2)
+        graph.follow(3, 1)
+        graph.follow(1, 4)
+        removed = graph.drop_account(1)
+        assert removed == 3
+        assert graph.edge_count == 0
+        assert graph.in_degree(2) == 0
+        assert graph.out_degree(3) == 0
+
+    def test_drop_account_leaves_others_intact(self):
+        graph = FollowerGraph()
+        graph.follow(1, 2)
+        graph.follow(2, 3)
+        graph.drop_account(1)
+        assert graph.is_following(2, 3)

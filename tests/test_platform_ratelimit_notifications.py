@@ -1,0 +1,88 @@
+"""Tests for rate limiting and notifications."""
+
+import pytest
+
+from repro.platform.models import ActionType
+from repro.platform.notifications import Notification, NotificationCenter
+from repro.platform.ratelimit import SlidingWindowLimiter
+
+
+class TestSlidingWindowLimiter:
+    def test_allows_up_to_limit(self):
+        limiter = SlidingWindowLimiter(limit=3, window_ticks=10)
+        assert all(limiter.allow("k", now=0) for _ in range(3))
+        assert not limiter.allow("k", now=0)
+
+    def test_window_slides(self):
+        limiter = SlidingWindowLimiter(limit=1, window_ticks=5)
+        assert limiter.allow("k", now=0)
+        assert not limiter.allow("k", now=4)
+        assert limiter.allow("k", now=6)
+
+    def test_keys_independent(self):
+        limiter = SlidingWindowLimiter(limit=1, window_ticks=5)
+        assert limiter.allow("a", now=0)
+        assert limiter.allow("b", now=0)
+
+    def test_denied_attempts_free(self):
+        limiter = SlidingWindowLimiter(limit=1, window_ticks=5)
+        limiter.allow("k", now=0)
+        for _ in range(10):
+            limiter.allow("k", now=1)  # denied, not recorded
+        assert limiter.allow("k", now=6)
+
+    def test_remaining(self):
+        limiter = SlidingWindowLimiter(limit=2, window_ticks=5)
+        assert limiter.remaining("k", 0) == 2
+        limiter.allow("k", 0)
+        assert limiter.remaining("k", 0) == 1
+
+    def test_reset(self):
+        limiter = SlidingWindowLimiter(limit=1, window_ticks=100)
+        limiter.allow("k", 0)
+        limiter.reset("k")
+        assert limiter.allow("k", 1)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            SlidingWindowLimiter(0, 1)
+        with pytest.raises(ValueError):
+            SlidingWindowLimiter(1, 0)
+
+
+class TestNotificationCenter:
+    def _notification(self, recipient=1, actor=2):
+        return Notification(recipient=recipient, actor=actor, action_type=ActionType.LIKE, tick=0)
+
+    def test_push_and_drain(self):
+        center = NotificationCenter()
+        center.push(self._notification())
+        items = center.drain(1)
+        assert len(items) == 1
+        assert center.drain(1) == []
+
+    def test_pending_peeks_without_consuming(self):
+        center = NotificationCenter()
+        center.push(self._notification())
+        assert len(center.pending(1)) == 1
+        assert len(center.pending(1)) == 1
+
+    def test_recipients_with_pending(self):
+        center = NotificationCenter()
+        center.push(self._notification(recipient=1))
+        center.push(self._notification(recipient=5))
+        assert set(center.recipients_with_pending()) == {1, 5}
+        center.drain(1)
+        assert set(center.recipients_with_pending()) == {5}
+
+    def test_clear_account(self):
+        center = NotificationCenter()
+        center.push(self._notification(recipient=1))
+        center.clear_account(1)
+        assert center.pending(1) == []
+
+    def test_delivered_total(self):
+        center = NotificationCenter()
+        for _ in range(3):
+            center.push(self._notification())
+        assert center.delivered_total == 3

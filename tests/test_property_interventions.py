@@ -1,0 +1,105 @@
+"""Property-based tests on intervention machinery invariants."""
+
+import hypothesis.strategies as st
+from hypothesis import HealthCheck, given, settings
+
+from repro.interventions.bins import BIN_COUNT, BinAssignment, account_bin
+from repro.interventions.policy import ThresholdBinPolicy
+from repro.interventions.thresholds import CountSubject, ThresholdEntry, ThresholdTable
+from repro.netsim.client import ClientEndpoint, DeviceFingerprint
+from repro.platform.countermeasures import ActionContext, CountermeasureDecision
+from repro.platform.models import ActionType
+
+common_settings = settings(max_examples=60, suppress_health_check=[HealthCheck.too_slow])
+
+ASN = 42
+
+
+def make_policy(limit: float, assignment: BinAssignment) -> ThresholdBinPolicy:
+    table = ThresholdTable()
+    table.add(ThresholdEntry(ASN, ActionType.FOLLOW, limit, CountSubject.ACTOR, True))
+    return ThresholdBinPolicy(thresholds=table, assignment=assignment)
+
+
+def make_context(actor: int, tick: int = 0) -> ActionContext:
+    return ActionContext(
+        actor=actor,
+        action_type=ActionType.FOLLOW,
+        endpoint=ClientEndpoint(1, ASN, DeviceFingerprint("android", "aas-x")),
+        tick=tick,
+    )
+
+
+class TestPolicyInvariants:
+    @given(st.integers(1, 10**9), st.integers(0, 5), st.integers(1, 30))
+    @common_settings
+    def test_control_bin_never_treated(self, account, limit, attempts):
+        """Whatever the volume, control accounts are untouched."""
+        # build an assignment where this account's bin is the control bin,
+        # with block/delay assigned to other bins
+        other_bins = [b for b in range(BIN_COUNT) if b != account_bin(account)]
+        assignment = BinAssignment(
+            block_bins=frozenset({other_bins[0]}),
+            delay_bins=frozenset({other_bins[1]}),
+            control_bins=frozenset({account_bin(account)}),
+        )
+        policy = make_policy(float(limit), assignment)
+        for _ in range(attempts):
+            assert policy.decide(make_context(account)) is CountermeasureDecision.ALLOW
+
+    @given(st.integers(1, 10**9), st.integers(0, 6), st.integers(1, 40))
+    @common_settings
+    def test_allowed_volume_never_exceeds_limit_for_block_bins(self, account, limit, attempts):
+        """A blocked subject gets at most ``limit`` allowed actions/day."""
+        assignment = BinAssignment(
+            block_bins=frozenset(range(BIN_COUNT)) - frozenset({0}),
+            control_bins=frozenset(),
+        )
+        if account_bin(account) == 0:
+            return  # untreated bin: nothing to assert
+        policy = make_policy(float(limit), assignment)
+        allowed = sum(
+            1
+            for _ in range(attempts)
+            if policy.decide(make_context(account)) is CountermeasureDecision.ALLOW
+        )
+        assert allowed <= limit
+
+    @given(st.integers(1, 10**9), st.integers(1, 6))
+    @common_settings
+    def test_day_boundary_resets_quota(self, account, limit):
+        assignment = BinAssignment.broad_block()
+        if assignment.group_of(account) != "block":
+            return
+        policy = make_policy(float(limit), assignment)
+        for _ in range(limit):
+            assert policy.decide(make_context(account, tick=0)) is CountermeasureDecision.ALLOW
+        assert policy.decide(make_context(account, tick=0)) is CountermeasureDecision.BLOCK
+        # a new day starts a fresh counter
+        assert policy.decide(make_context(account, tick=24)) is CountermeasureDecision.ALLOW
+
+
+class TestAssignmentInvariants:
+    @given(st.integers(0, 10**12))
+    @common_settings
+    def test_narrow_group_is_exclusive_and_total(self, account):
+        assignment = BinAssignment.narrow()
+        group = assignment.group_of(account)
+        assert group in {"block", "delay", "control", "untreated"}
+        treatment = assignment.treatment_of(account)
+        if group == "block":
+            assert treatment is CountermeasureDecision.BLOCK
+        elif group == "delay":
+            assert treatment is CountermeasureDecision.DELAY_REMOVE
+        else:
+            assert treatment is CountermeasureDecision.ALLOW
+
+    @given(st.integers(0, 10**12))
+    @common_settings
+    def test_broad_designs_cover_everyone(self, account):
+        delay = BinAssignment.broad_delay()
+        block = BinAssignment.broad_block()
+        assert delay.group_of(account) in {"delay", "control"}
+        assert block.group_of(account) in {"block", "control"}
+        # the same account is control in both or treated in both
+        assert (delay.group_of(account) == "control") == (block.group_of(account) == "control")
