@@ -1,0 +1,163 @@
+"""The lint engine: discovery, parsing, suppression, rule dispatch.
+
+Suppression syntax (checked by ``tests/test_lint_rules.py``)::
+
+    bad_call()  # repro-lint: ignore[DET003] -- justification goes here
+
+The bracket list names the rule ids being waived on that line; a bare
+``# repro-lint: ignore`` waives every rule on the line. Suppressions are
+per-line and should always carry a trailing justification — the linter
+does not enforce the prose, review does.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from pathlib import Path, PurePosixPath
+from typing import Iterable, Iterator, Sequence
+
+from repro.lint.findings import PARSE_RULE, Finding
+from repro.lint.rules import ModuleContext, Rule, all_rules
+
+#: directory names never descended into when a *directory* is linted;
+#: passing such a path explicitly on the command line still lints it
+#: (tests/fixtures/lint holds intentionally-violating corpus files)
+SKIP_DIR_NAMES = frozenset(
+    {"__pycache__", ".git", ".hg", "fixtures", "build", "dist", ".venv", "venv", ".eggs"}
+)
+
+_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*ignore(?:\[([A-Z0-9_,\s]+)\])?")
+
+#: sentinel for a bare ``ignore`` (suppresses every rule on the line)
+_ALL_RULES = frozenset({"*"})
+
+
+def parse_suppressions(source: str) -> dict[int, frozenset[str]]:
+    """Map line number -> rule ids waived there (``{'*'}`` = all).
+
+    Comments are located with :mod:`tokenize` so a ``#`` inside a string
+    literal can never suppress anything. Files broken badly enough that
+    tokenization fails produce no suppressions — their findings stand.
+    """
+    suppressions: dict[int, frozenset[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(token.string)
+            if not match:
+                continue
+            line = token.start[0]
+            if match.group(1) is None:
+                ids = _ALL_RULES
+            else:
+                ids = frozenset(
+                    part.strip() for part in match.group(1).split(",") if part.strip()
+                )
+            suppressions[line] = suppressions.get(line, frozenset()) | ids
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        pass
+    return suppressions
+
+
+def _is_suppressed(finding: Finding, suppressions: dict[int, frozenset[str]]) -> bool:
+    waived = suppressions.get(finding.line)
+    if waived is None:
+        return False
+    return "*" in waived or finding.rule in waived
+
+
+def module_name_for(path: str) -> str | None:
+    """Dotted module name for files under a ``repro`` package directory.
+
+    Derived purely from the path shape (the last ``repro`` component and
+    everything below it), so it works for ``src/repro/...``, installed
+    trees, and temp-dir copies alike. ``None`` for tests and scripts.
+    """
+    parts = PurePosixPath(path.replace("\\", "/")).parts
+    if "repro" not in parts:
+        return None
+    anchor = len(parts) - 1 - tuple(reversed(parts)).index("repro")
+    module_parts = list(parts[anchor:])
+    leaf = module_parts[-1]
+    if not leaf.endswith(".py"):
+        return None
+    module_parts[-1] = leaf[: -len(".py")]
+    if module_parts[-1] == "__init__":
+        module_parts.pop()
+    return ".".join(module_parts)
+
+
+def lint_source(
+    source: str,
+    path: str,
+    rules: Sequence[Rule] | None = None,
+) -> list[Finding]:
+    """Lint one module given as text; ``path`` drives exemption logic."""
+    normalized = path.replace("\\", "/")
+    active = list(rules) if rules is not None else all_rules()
+    try:
+        tree = ast.parse(source, filename=normalized)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=normalized,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+                rule=PARSE_RULE,
+                message=f"file does not parse: {exc.msg}",
+            )
+        ]
+    ctx = ModuleContext(
+        path=normalized, module=module_name_for(normalized), tree=tree, source=source
+    )
+    suppressions = parse_suppressions(source)
+    findings = [
+        finding
+        for rule in active
+        if rule.applies_to(ctx)
+        for finding in rule.check(ctx)
+        if not _is_suppressed(finding, suppressions)
+    ]
+    return sorted(findings)
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Expand files/directories into a sorted, de-duplicated .py list.
+
+    Directories are walked recursively, skipping :data:`SKIP_DIR_NAMES`
+    and hidden directories; explicit file arguments are always included.
+    """
+    seen: set[Path] = set()
+    for raw in paths:
+        root = Path(raw)
+        if root.is_file():
+            if root.suffix == ".py" and root not in seen:
+                seen.add(root)
+                yield root
+            continue
+        candidates = sorted(root.rglob("*.py"))
+        for candidate in candidates:
+            relative = candidate.relative_to(root).parts[:-1]
+            if any(part in SKIP_DIR_NAMES or part.startswith(".") for part in relative):
+                continue
+            if candidate not in seen:
+                seen.add(candidate)
+                yield candidate
+
+
+def lint_paths(
+    paths: Iterable[str | Path],
+    rules: Sequence[Rule] | None = None,
+) -> list[Finding]:
+    """Lint every python file reachable from ``paths``."""
+    active = list(rules) if rules is not None else all_rules()
+    findings: list[Finding] = []
+    for file_path in iter_python_files(paths):
+        source = file_path.read_text(encoding="utf-8")
+        findings.extend(lint_source(source, file_path.as_posix(), rules=active))
+    return sorted(findings)

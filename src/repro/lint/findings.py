@@ -1,0 +1,39 @@
+"""The unit of lint output: one rule violation at one source location.
+
+``Finding`` is deliberately tiny and immutable — rules produce them, the
+engine filters suppressed ones, and reporters serialize them. Ordering is
+lexicographic on ``(path, line, col, rule)`` so reports are stable across
+runs regardless of rule execution order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Pseudo-rule emitted when a file cannot be parsed at all.
+PARSE_RULE = "PARSE"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One violation: where it is, which rule fired, and why."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serializable form (schema checked by the test suite)."""
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        """One-line human-readable form: ``path:line:col: RULE message``."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"

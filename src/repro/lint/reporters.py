@@ -1,0 +1,41 @@
+"""Finding serializers: a grep-able text form and a stable JSON form.
+
+The JSON schema is versioned and asserted by the test suite so external
+tooling (CI annotations, dashboards) can rely on it::
+
+    {
+      "version": 1,
+      "count": <int>,
+      "findings": [
+        {"rule": str, "path": str, "line": int, "col": int, "message": str},
+        ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from repro.lint.findings import Finding
+
+#: bump when the JSON structure changes shape
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """``path:line:col: RULE message`` lines plus a summary trailer."""
+    lines = [finding.render() for finding in findings]
+    noun = "finding" if len(findings) == 1 else "findings"
+    lines.append(f"{len(findings)} {noun}")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "count": len(findings),
+        "findings": [finding.to_dict() for finding in findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,102 @@
+"""API rules: randomness is injected, never manufactured, downstream.
+
+The analysis/detection/interventions layers consume the simulated event
+stream; if any of them minted its own generator, the same study object
+could yield different tables depending on call order. Their public
+surface therefore takes ``rng``/``seeds`` parameters and the Study
+orchestrator (the composition root) is the only place generators are
+derived from the root seed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.rules.base import ModuleContext, Rule, dotted_name
+
+#: layers whose public functions must be handed their randomness
+_OBSERVER_LAYERS = frozenset({"analysis", "detection", "interventions"})
+
+#: calls that manufacture a generator or seed-derivation factory
+_GENERATOR_FACTORIES = frozenset(
+    {
+        "derive_rng",
+        "SeedSequenceFactory",
+        "np.random.default_rng",
+        "numpy.random.default_rng",
+        "default_rng",
+    }
+)
+
+#: parameter names the convention reserves for injected randomness
+_RNG_PARAM_NAMES = frozenset({"rng", "seeds", "seed_factory"})
+
+
+class RngInjectionRule(Rule):
+    """API001 — observer layers never create their own generators."""
+
+    rule_id: ClassVar[str] = "API001"
+    summary: ClassVar[str] = (
+        "analysis/detection/interventions must accept an explicit "
+        "rng/seeds parameter; deriving a generator locally decouples the "
+        "result from the study's root seed"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if ctx.layer not in _OBSERVER_LAYERS:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name in _GENERATOR_FACTORIES:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"`{name}(...)` creates randomness inside the "
+                        f"'{ctx.layer}' layer; take an `rng` (or `seeds`) "
+                        "parameter and let the Study derive it from the root seed",
+                    )
+
+
+def _iter_rng_params_with_defaults(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> Iterator[tuple[ast.arg, ast.expr]]:
+    """Yield ``(arg, default)`` for rng-convention params that have one."""
+    positional = fn.args.posonlyargs + fn.args.args
+    defaults = fn.args.defaults
+    for arg, default in zip(positional[len(positional) - len(defaults) :], defaults):
+        if arg.arg in _RNG_PARAM_NAMES:
+            yield arg, default
+    for arg, kw_default in zip(fn.args.kwonlyargs, fn.args.kw_defaults):
+        if kw_default is not None and arg.arg in _RNG_PARAM_NAMES:
+            yield arg, kw_default
+
+
+class RngDefaultRule(Rule):
+    """API002 — an ``rng`` parameter must not default to a generator."""
+
+    rule_id: ClassVar[str] = "API002"
+    summary: ClassVar[str] = (
+        "rng/seeds parameters may default only to None; a generator "
+        "default is evaluated once at import time and silently shared "
+        "across every caller that omits it"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                for arg, default in _iter_rng_params_with_defaults(node):
+                    if isinstance(default, ast.Constant) and default.value is None:
+                        continue
+                    yield self.finding(
+                        ctx,
+                        default,
+                        f"parameter `{arg.arg}` of `{node.name}` has a non-None "
+                        "default; rng/seeds must be passed by the caller "
+                        "(default to None and fail loudly, if optional)",
+                    )
+
+
+API_RULES: tuple[type[Rule], ...] = (RngInjectionRule, RngDefaultRule)

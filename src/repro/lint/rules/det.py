@@ -1,0 +1,275 @@
+"""DET rules: every run must be a pure function of the root seed.
+
+The simulator's measurement pipeline (DESIGN.md §3) regenerates the
+paper's tables bit-identically only if no code path consults ambient
+state — wall clocks, process-salted hashes, global RNGs, or the
+environment. These rules ban the ambient sources at the call site; the
+sanctioned alternatives are ``repro.util.rng`` (seeded generators) and
+``repro.platform.clock.SimClock`` (simulated time).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.rules.base import ModuleContext, Rule, dotted_name
+
+#: modules allowed to touch RNG internals: the seeding shim itself
+_RNG_SHIM = ("repro/util/rng.py",)
+#: modules allowed to own the notion of time: the simulation clock
+_CLOCK_SHIM = ("repro/platform/clock.py", "repro/util/rng.py")
+
+#: ``numpy.random`` attributes that are deterministic given their
+#: arguments (explicitly-seeded constructors and types) — everything
+#: else on the module either touches the hidden global state or mints
+#: OS-entropy seeds.
+_SAFE_NP_RANDOM = frozenset(
+    {
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "MT19937",
+        "Philox",
+        "SFC64",
+    }
+)
+
+_WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "datetime.now",
+        "datetime.today",
+        "datetime.utcnow",
+        "date.today",
+        "datetime.datetime.now",
+        "datetime.datetime.today",
+        "datetime.datetime.utcnow",
+        "datetime.date.today",
+    }
+)
+
+_TIME_FUNCTION_NAMES = frozenset(
+    {"time", "time_ns", "monotonic", "monotonic_ns", "perf_counter", "perf_counter_ns"}
+)
+
+
+class StdlibRandomRule(Rule):
+    """DET001 — the process-global ``random`` module is banned."""
+
+    rule_id: ClassVar[str] = "DET001"
+    summary: ClassVar[str] = (
+        "stdlib `random` is process-global state; draw from a generator "
+        "handed out by repro.util.rng.SeedSequenceFactory instead"
+    )
+    exempt_suffixes: ClassVar[tuple[str, ...]] = _RNG_SHIM
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        yield self.finding(
+                            ctx, node, "import of stdlib `random`; use a seeded np.random.Generator"
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0 and node.module == "random":
+                    yield self.finding(
+                        ctx, node, "import from stdlib `random`; use a seeded np.random.Generator"
+                    )
+
+
+class NumpyGlobalRandomRule(Rule):
+    """DET002 — ``np.random.*`` module-level state and entropy taps."""
+
+    rule_id: ClassVar[str] = "DET002"
+    summary: ClassVar[str] = (
+        "np.random module-level calls (seed/default_rng/random/...) bypass "
+        "the SeedSequenceFactory; only explicitly-seeded types are allowed"
+    )
+    exempt_suffixes: ClassVar[tuple[str, ...]] = _RNG_SHIM
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name is None:
+                    continue
+                parts = name.split(".")
+                if (
+                    len(parts) == 3
+                    and parts[0] in ("np", "numpy")
+                    and parts[1] == "random"
+                    and parts[2] not in _SAFE_NP_RANDOM
+                ):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"`{name}()` uses numpy's hidden global stream or fresh OS "
+                        "entropy; derive a generator via repro.util.rng instead",
+                    )
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0 and node.module == "numpy.random":
+                    for alias in node.names:
+                        if alias.name not in _SAFE_NP_RANDOM and alias.name != "*":
+                            yield self.finding(
+                                ctx,
+                                node,
+                                f"`from numpy.random import {alias.name}` exposes "
+                                "unseeded randomness; derive via repro.util.rng",
+                            )
+
+
+class WallClockRule(Rule):
+    """DET003 — wall-clock reads; simulated time lives in SimClock."""
+
+    rule_id: ClassVar[str] = "DET003"
+    summary: ClassVar[str] = (
+        "wall-clock reads (time.time, datetime.now, ...) leak host time "
+        "into the event stream; use the tick-based platform SimClock"
+    )
+    exempt_suffixes: ClassVar[tuple[str, ...]] = _CLOCK_SHIM
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name in _WALL_CLOCK_CALLS:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"`{name}()` reads the host clock; simulation time is "
+                        "SimClock.now ticks",
+                    )
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0 and node.module == "time":
+                    for alias in node.names:
+                        if alias.name in _TIME_FUNCTION_NAMES:
+                            yield self.finding(
+                                ctx,
+                                node,
+                                f"`from time import {alias.name}` reads the host "
+                                "clock; simulation time is SimClock.now ticks",
+                            )
+
+
+class UuidRule(Rule):
+    """DET004 — entropy-backed UUIDs are unreproducible identifiers."""
+
+    rule_id: ClassVar[str] = "DET004"
+    summary: ClassVar[str] = (
+        "uuid.uuid1/uuid4 mint identifiers from OS entropy or host MAC; "
+        "derive ids from the seed (counters or blake2 of stable labels)"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                name = dotted_name(node.func)
+                if name in ("uuid.uuid1", "uuid.uuid4", "uuid1", "uuid4"):
+                    yield self.finding(
+                        ctx, node, f"`{name}()` is entropy-backed; derive ids from the seed"
+                    )
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0 and node.module == "uuid":
+                    for alias in node.names:
+                        if alias.name in ("uuid1", "uuid4"):
+                            yield self.finding(
+                                ctx,
+                                node,
+                                f"`from uuid import {alias.name}`; derive ids from the seed",
+                            )
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    """A set literal, set comprehension, or direct set()/frozenset() call."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+class SetIterationRule(Rule):
+    """DET005 — iterating a freshly-built set feeds hash order onward."""
+
+    rule_id: ClassVar[str] = "DET005"
+    summary: ClassVar[str] = (
+        "iteration order of a set depends on PYTHONHASHSEED for str keys; "
+        "wrap in sorted(...) before iterating or materializing"
+    )
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            iters: list[ast.expr] = []
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters.append(node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)):
+                iters.extend(gen.iter for gen in node.generators)
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in ("list", "tuple")
+                and len(node.args) == 1
+                and not node.keywords
+            ):
+                iters.append(node.args[0])
+            for candidate in iters:
+                if _is_set_expr(candidate):
+                    yield self.finding(
+                        ctx,
+                        candidate,
+                        "iterating an unordered set; order leaks PYTHONHASHSEED — "
+                        "use sorted(...) (or keep a list/dict, which preserve order)",
+                    )
+
+
+class EnvironReadRule(Rule):
+    """DET006 — environment reads are hidden configuration inputs."""
+
+    rule_id: ClassVar[str] = "DET006"
+    summary: ClassVar[str] = (
+        "os.environ/os.getenv reads make runs depend on ambient shell "
+        "state; all knobs enter through core/config.py StudyConfig"
+    )
+    exempt_suffixes: ClassVar[tuple[str, ...]] = ("repro/core/config.py",)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Attribute):
+                if dotted_name(node) == "os.environ":
+                    yield self.finding(
+                        ctx, node, "`os.environ` read outside core/config.py"
+                    )
+            elif isinstance(node, ast.Call):
+                if dotted_name(node.func) == "os.getenv":
+                    yield self.finding(
+                        ctx, node, "`os.getenv()` read outside core/config.py"
+                    )
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0 and node.module == "os":
+                    for alias in node.names:
+                        if alias.name in ("environ", "getenv"):
+                            yield self.finding(
+                                ctx,
+                                node,
+                                f"`from os import {alias.name}` outside core/config.py",
+                            )
+
+
+DET_RULES: tuple[type[Rule], ...] = (
+    StdlibRandomRule,
+    NumpyGlobalRandomRule,
+    WallClockRule,
+    UuidRule,
+    SetIterationRule,
+    EnvironReadRule,
+)

@@ -1,0 +1,19 @@
+"""Corpus control file: a module the linter must pass untouched.
+
+Uses the sanctioned idioms — injected generators, sorted set
+materialization, tick-based time — so the CLI tests can assert that
+findings from the dirty sibling never bleed onto clean files.
+"""
+
+
+def sample_tags(rng, vocabulary, k: int) -> list:
+    indices = rng.choice(len(vocabulary), size=k, replace=False)
+    return [vocabulary[int(index)] for index in indices]
+
+
+def stable_unique(labels) -> list:
+    return sorted(set(labels))
+
+
+def ticks_elapsed(clock, start_tick: int) -> int:
+    return clock.now - start_tick

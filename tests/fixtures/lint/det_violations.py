@@ -1,0 +1,39 @@
+"""Intentionally-violating corpus for the ``repro.lint`` CLI tests.
+
+Never imported by anything — the engine's directory walk skips
+``fixtures/`` so these violations only surface when this directory is
+named explicitly (as ``tests/test_lint_rules.py`` does). One violation
+per DET rule plus an API002, so the CLI exit-code and reporter tests
+have a known-dirty target.
+"""
+
+import os
+import random
+import time
+import uuid
+
+import numpy as np
+
+
+def ambient_jitter() -> float:
+    np.random.seed(1234)
+    return random.random() + time.time()
+
+
+def fresh_token() -> str:
+    return str(uuid.uuid4())
+
+
+def shell_knob() -> str:
+    return os.environ.get("REPRO_SECRET_KNOB", "unset")
+
+
+def hash_ordered() -> list:
+    collected = []
+    for tag in set(["travel", "food", "fitness"]):
+        collected.append(tag)
+    return collected
+
+
+def bad_default(events, rng=np.random.default_rng()):
+    return rng.permutation(len(events))

@@ -1,0 +1,17 @@
+"""Corpus file proving per-line suppressions silence exactly one line.
+
+Every violation here carries a ``# repro-lint: ignore[...]`` waiver, so
+this file contributes zero findings even when the fixtures directory is
+linted explicitly.
+"""
+
+import time
+import uuid
+
+
+def wall_probe() -> float:
+    return time.time()  # repro-lint: ignore[DET003] -- fixture: demonstrates the waiver syntax
+
+
+def entropy_probe() -> str:
+    return str(uuid.uuid4())  # repro-lint: ignore -- fixture: bare ignore waives every rule on the line

@@ -1,7 +1,9 @@
 """Reproducibility guarantees: same seed => same world, across processes."""
 
+import os
 import subprocess
 import sys
+from pathlib import Path
 
 import pytest
 
@@ -16,6 +18,16 @@ ds = s.run_measurement(days_=2)
 print(len(s.platform.log), s.platform.graph.edge_count,
       sum(len(a.records) for a in ds.attributed.values()))
 """
+
+
+def _child_pythonpath() -> str:
+    """Import path for the probe subprocess: this repo's ``src`` tree
+    (derived from the test file's location, not the runner's cwd), plus
+    whatever the runner itself was launched with so editable installs
+    and site customizations keep working."""
+    src = str(Path(__file__).resolve().parents[1] / "src")
+    inherited = os.environ.get("PYTHONPATH")  # repro-lint: ignore[DET006] -- propagating the runner's import path to a child process, not reading configuration
+    return src if not inherited else os.pathsep.join([src, inherited])
 
 
 class TestInProcessDeterminism:
@@ -51,7 +63,11 @@ class TestCrossProcessDeterminism:
                 [sys.executable, "-c", _PROBE],
                 capture_output=True,
                 text=True,
-                env={"PYTHONHASHSEED": hash_seed, "PATH": "/usr/bin:/bin"},
+                env={
+                    "PYTHONHASHSEED": hash_seed,
+                    "PATH": "/usr/bin:/bin",
+                    "PYTHONPATH": _child_pythonpath(),
+                },
                 timeout=300,
             )
             assert result.returncode == 0, result.stderr
