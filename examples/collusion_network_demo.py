@@ -20,15 +20,15 @@ from repro.platform.models import ActionType
 from repro.util import SeedSequenceFactory
 
 
-def main() -> None:
+def main(member_count: int = 40, run_hours: int = 48) -> None:
     seeds = SeedSequenceFactory(77)
     platform = InstagramPlatform()
     fabric = NetworkFabric(ASNRegistry(), seeds.get("fabric"))
     service = make_hublaagram(platform, fabric, seeds.get("service"), quantity_scale=0.1)
 
-    print("Enrolling 40 member accounts (credentials handed to the service)...")
+    print(f"Enrolling {member_count} member accounts (credentials handed to the service)...")
     members = []
-    for i in range(40):
+    for i in range(member_count):
         account = platform.create_account(f"member{i:02d}", f"pw{i:02d}")
         for _ in range(5):
             platform.media.create(account.account_id, 0)
@@ -59,8 +59,8 @@ def main() -> None:
         f" likes/photo monthly tier (${tier.cost_cents/100:.0f})"
     )
 
-    print("\nRunning the network for 48 hours...")
-    for _ in range(48):
+    print(f"\nRunning the network for {run_hours} hours...")
+    for _ in range(run_hours):
         service.tick()
         platform.clock.advance(1)
 

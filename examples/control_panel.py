@@ -26,7 +26,7 @@ from repro.util.tables import format_table
 from repro.util.timeutils import days
 
 
-def main() -> None:
+def main(population_size: int = 350, run_days: int = 4) -> None:
     seeds = SeedSequenceFactory(1)
     platform = InstagramPlatform()
     fabric = NetworkFabric(ASNRegistry(), seeds.get("fabric"))
@@ -34,7 +34,7 @@ def main() -> None:
         platform,
         fabric,
         seeds.get("population"),
-        PopulationConfig(size=350, out_degree=DegreeDistribution(median=14.0)),
+        PopulationConfig(size=population_size, out_degree=DegreeDistribution(median=14.0)),
     )
     service = make_instalex(
         platform, fabric, seeds.get("svc"), list(population.account_ids), budget_scale=0.4
@@ -56,8 +56,8 @@ def main() -> None:
         trial_ticks=days(7),
     )
 
-    print("Running the Instalex trial for 4 days...\n")
-    for _ in range(days(4)):
+    print(f"Running the Instalex trial for {run_days} days...\n")
+    for _ in range(days(run_days)):
         service.tick()
         organic.tick()
         platform.clock.advance(1)

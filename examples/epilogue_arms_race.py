@@ -23,9 +23,11 @@ from repro.core import Study, StudyConfig
 from repro.platform.models import ActionType
 
 
-def build_study(seed: int) -> Study:
+def build_study(seed: int, config: StudyConfig | None = None, measurement_days: int = 5) -> Study:
+    if config is None:
+        config = StudyConfig.tiny(seed=seed)
     config = dataclasses.replace(
-        StudyConfig.tiny(seed=seed),
+        config,
         enable_migration=True,
         migration_patience_days=5,
     )
@@ -36,7 +38,7 @@ def build_study(seed: int) -> Study:
     hub.config.suspend_sales_after_days = 10
     study.run_honeypot_phase()
     study.learn_signatures()
-    study.run_measurement(days_=5)
+    study.run_measurement(days_=measurement_days)
     return study
 
 
@@ -49,15 +51,22 @@ def report(title: str, outcome) -> None:
     print(f"  Hublaagram sales suspended: {outcome.hublaagram_sales_suspended}")
 
 
-def main() -> None:
+def main(
+    config: StudyConfig | None = None,
+    measurement_days: int = 5,
+    epilogue_days: int = 30,
+    relearn_days: int = 4,
+) -> None:
     print("Scenario A — frozen defender (signatures never updated)...")
-    study_a = build_study(seed=55)
-    outcome_a = study_a.run_epilogue(days_=30, calibration_days=4)
+    study_a = build_study(seed=55, config=config, measurement_days=measurement_days)
+    outcome_a = study_a.run_epilogue(days_=epilogue_days, calibration_days=4)
     report("A: services escape the original signatures", outcome_a)
 
     print("\nScenario B — defender keeps probing and re-learning...")
-    study_b = build_study(seed=55)
-    outcome_b = study_b.run_epilogue(days_=30, calibration_days=4, defender_relearn_days=4)
+    study_b = build_study(seed=55, config=config, measurement_days=measurement_days)
+    outcome_b = study_b.run_epilogue(
+        days_=epilogue_days, calibration_days=4, defender_relearn_days=relearn_days
+    )
     report("B: re-learning keeps the pressure on", outcome_b)
 
     print(

@@ -26,7 +26,7 @@ from repro.util import SeedSequenceFactory
 from repro.util.timeutils import days
 
 
-def main() -> None:
+def main(population_size: int = 400, run_days: int = 3) -> None:
     seeds = SeedSequenceFactory(404)
     platform = InstagramPlatform()
     registry = ASNRegistry()
@@ -37,7 +37,7 @@ def main() -> None:
         platform,
         fabric,
         seeds.get("population"),
-        PopulationConfig(size=400, out_degree=DegreeDistribution(median=15.0, sigma=1.0)),
+        PopulationConfig(size=population_size, out_degree=DegreeDistribution(median=15.0, sigma=1.0)),
     )
     print(
         f"  {len(population)} accounts, median out-degree "
@@ -67,8 +67,8 @@ def main() -> None:
     )
     experiment.register_batch(service, ActionType.FOLLOW, empty=4, lived_in=1)
 
-    print("Running the trial period (3 days)...")
-    for _ in range(days(3)):
+    print(f"Running the trial period ({run_days} days)...")
+    for _ in range(days(run_days)):
         service.tick()
         organic.tick()
         platform.clock.advance(1)

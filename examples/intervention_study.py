@@ -20,16 +20,23 @@ from repro.interventions.experiment import BroadInterventionPlan, NarrowInterven
 from repro.platform.models import ActionStatus, ActionType
 
 
-def main() -> None:
+def main(
+    config: StudyConfig | None = None,
+    measurement_days: int = 6,
+    narrow_days: int = 14,
+    delay_days: int = 6,
+    block_days: int = 8,
+    calibration_days: int = 5,
+) -> None:
     print("Building the world and measurement pipeline...")
-    study = Study(StudyConfig.tiny(seed=6))
+    study = Study(config if config is not None else StudyConfig.tiny(seed=6))
     study.run_honeypot_phase()
     study.learn_signatures()
-    study.run_measurement(days_=6)
+    study.run_measurement(days_=measurement_days)
 
     print("\nNarrow intervention: one block bin, one delay bin, one control")
     narrow = study.run_narrow_intervention(
-        NarrowInterventionPlan(duration_days=14), calibration_days=5
+        NarrowInterventionPlan(duration_days=narrow_days), calibration_days=calibration_days
     )
     print(f"  thresholds frozen over {len(narrow.thresholds)} (ASN, action) pairs")
     print()
@@ -52,7 +59,8 @@ def main() -> None:
 
     print("\nBroad intervention: 90% delayed removal, then 90% blocking")
     broad = study.run_broad_intervention(
-        BroadInterventionPlan(delay_days=6, block_days=8), calibration_days=5
+        BroadInterventionPlan(delay_days=delay_days, block_days=block_days),
+        calibration_days=calibration_days,
     )
     print()
     print(R.render_fig7(E.fig7_broad_follows(broad, service=INSTA_STAR)))

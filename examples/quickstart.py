@@ -17,9 +17,9 @@ from repro.core import experiments as E
 from repro.core import reporting as R
 
 
-def main() -> None:
+def main(config: StudyConfig | None = None) -> None:
     print("Building the simulated world (tiny preset)...")
-    study = Study(StudyConfig.tiny(seed=2018))
+    study = Study(config if config is not None else StudyConfig.tiny(seed=2018))
 
     print(
         f"  platform: {len(study.population)} organic accounts, "

@@ -1,0 +1,102 @@
+"""Measurement core: warmup + repetition timing.
+
+Every scenario builds a fresh case per run (setup cost stays outside the
+timed region), runs ``warmup`` untimed iterations to settle allocator
+and cache state, then records ``repetitions`` wall-clock samples.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+
+@dataclass(frozen=True)
+class Stats:
+    """Summary of one timed case's samples."""
+
+    warmup: int
+    repetitions: int
+    best_s: float
+    mean_s: float
+    median_s: float
+
+    def as_dict(self) -> dict:
+        return {
+            "warmup": self.warmup,
+            "repetitions": self.repetitions,
+            "best_s": self.best_s,
+            "mean_s": self.mean_s,
+            "median_s": self.median_s,
+        }
+
+
+def time_repeated(
+    make_case: Callable[[], Callable[[], object]],
+    warmup: int,
+    repetitions: int,
+) -> list[float]:
+    """Timed samples of ``make_case()()``, one fresh case per run.
+
+    ``make_case`` is invoked once per run (warmup included) and its cost
+    is excluded; only the returned thunk is timed. Cases that must reuse
+    expensive shared state (a populated study) close over it.
+    """
+    if repetitions < 1:
+        raise ValueError("repetitions must be positive")
+    samples: list[float] = []
+    for index in range(warmup + repetitions):
+        case = make_case()
+        started = time.perf_counter()
+        case()
+        elapsed = time.perf_counter() - started
+        if index >= warmup:
+            samples.append(elapsed)
+    return samples
+
+
+def time_interleaved(
+    make_cases: dict[str, Callable[[], Callable[[], object]]],
+    warmup: int,
+    repetitions: int,
+) -> dict[str, list[float]]:
+    """Like :func:`time_repeated`, but round-robin across several cases.
+
+    A/B comparisons timed back-to-back are biased by whatever drifts
+    monotonically over the process lifetime (CPU frequency ramp, page
+    cache, allocator arenas): the case timed first pays the cold costs.
+    Interleaving — round 1 times every case once, then round 2, ... —
+    spreads that drift evenly, so derived ratios compare like with like.
+    """
+    if repetitions < 1:
+        raise ValueError("repetitions must be positive")
+    samples: dict[str, list[float]] = {name: [] for name in make_cases}
+    for index in range(warmup + repetitions):
+        for name, make_case in make_cases.items():
+            case = make_case()
+            started = time.perf_counter()
+            case()
+            elapsed = time.perf_counter() - started
+            if index >= warmup:
+                samples[name].append(elapsed)
+    return samples
+
+
+def summarize(samples: list[float], warmup: int) -> Stats:
+    """Collapse raw samples into the stats block the JSON schema carries."""
+    if not samples:
+        raise ValueError("no samples to summarize")
+    ordered = sorted(samples)
+    middle = len(ordered) // 2
+    if len(ordered) % 2:
+        median = ordered[middle]
+    else:
+        median = (ordered[middle - 1] + ordered[middle]) / 2.0
+    return Stats(
+        warmup=warmup,
+        repetitions=len(samples),
+        best_s=ordered[0],
+        mean_s=sum(samples) / len(samples),
+        median_s=median,
+    )

@@ -1,0 +1,204 @@
+"""The canonical benchmark scenarios.
+
+Three scenarios cover the hot paths the indexed/incremental fast path
+(DESIGN.md "Performance architecture") was built for:
+
+* ``tick_loop`` — raw simulation throughput (``Study.run_hours``) at
+  several population scales, timing-wheel fast path vs. the naive
+  reference loop.
+* ``sweep`` — attribution-sweep latency over a populated measurement
+  window across the three classifier tiers: brute force over a
+  materialized record list (the pre-index call pattern), the bucketed
+  cold sweep over the indexed log, and the incremental sweep of an
+  attached (streaming) classifier.
+* ``run_standard`` — wall time of the whole pipeline (honeypots →
+  signatures → measurement), fast path vs. naive.
+
+Each scenario returns one schema-versioned payload
+(:mod:`repro.bench.schema`); the CLI writes it to
+``BENCH_<SCENARIO>.json``. Smoke mode shrinks scales and repetitions to
+CI-friendly seconds while exercising every code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable
+
+from repro.bench.harness import summarize, time_interleaved, time_repeated
+from repro.bench.schema import SCHEMA_VERSION
+from repro.core.config import StudyConfig
+from repro.core.study import Study
+from repro.detection.classifier import AASClassifier
+
+#: seed used by every scenario; fixed so reruns time identical workloads
+BENCH_SEED = 42
+
+
+def bench_file_name(benchmark: str) -> str:
+    """``BENCH_<NAME>.json`` for one scenario's payload."""
+    return f"BENCH_{benchmark.upper()}.json"
+
+
+def _envelope(
+    benchmark: str,
+    smoke: bool,
+    settings: dict,
+    results: list[dict],
+    derived: dict | None = None,
+) -> dict:
+    payload = {
+        "schema_version": SCHEMA_VERSION,
+        "benchmark": benchmark,
+        "mode": "smoke" if smoke else "full",
+        "settings": settings,
+        "results": results,
+    }
+    if derived is not None:
+        payload["derived"] = derived
+    return payload
+
+
+def _mode_label(fast: bool) -> str:
+    return "fast" if fast else "naive"
+
+
+# ----------------------------------------------------------------------
+# tick_loop — simulation throughput at several population scales
+# ----------------------------------------------------------------------
+
+def bench_tick_loop(smoke: bool) -> dict:
+    sizes = (260,) if smoke else (260, 520, 900)
+    hours = 24 if smoke else 48
+    warmup, repetitions = (0, 1) if smoke else (1, 3)
+    results = []
+    for size in sizes:
+        def make_case(fast: bool, size: int = size) -> Callable[[], object]:
+            base = StudyConfig.tiny(seed=BENCH_SEED)
+            config = replace(
+                base,
+                fast_path=fast,
+                population=replace(base.population, size=size),
+            )
+            study = Study(config)
+            return lambda: study.run_hours(hours)
+
+        cases = {
+            _mode_label(fast): (lambda fast=fast: make_case(fast)) for fast in (True, False)
+        }
+        for label, samples in time_interleaved(cases, warmup, repetitions).items():
+            stats = summarize(samples, warmup)
+            results.append(
+                {
+                    "name": f"population-{size}-{label}",
+                    "stats": stats.as_dict(),
+                    "ticks_per_s": hours / stats.mean_s,
+                }
+            )
+    settings = {
+        "seed": BENCH_SEED,
+        "population_sizes": list(sizes),
+        "hours_per_run": hours,
+    }
+    return _envelope("tick_loop", smoke, settings, results)
+
+
+# ----------------------------------------------------------------------
+# sweep — attribution latency: brute force vs. bucketed vs. incremental
+# ----------------------------------------------------------------------
+
+def bench_sweep(smoke: bool) -> dict:
+    measurement_days = 3 if smoke else 10
+    warmup, repetitions = (0, 2) if smoke else (1, 5)
+
+    config = StudyConfig.tiny(seed=BENCH_SEED)
+    study = Study(config)
+    study.run_honeypot_phase()
+    study.learn_signatures()
+    dataset = study.run_measurement(measurement_days)
+    log = study.platform.log
+    start_tick, end_tick = dataset.start_tick, dataset.end_tick
+    assert study.classifier is not None
+    signatures = list(study.classifier.signatures)
+
+    def brute_case() -> Callable[[], object]:
+        # a fresh classifier per run: no match memo, no caches — and the
+        # list() materialization the pre-index call sites paid every sweep
+        classifier = AASClassifier(signatures)
+        return lambda: classifier.sweep(list(log), start_tick, end_tick)
+
+    def bucketed_case() -> Callable[[], object]:
+        classifier = AASClassifier(signatures)
+        return lambda: classifier.sweep(log, start_tick, end_tick)
+
+    def incremental_case() -> Callable[[], object]:
+        # the study's own classifier streams from the log (fast path), so
+        # this is the repeated-sweep pattern of the intervention phases
+        classifier = study.classifier
+        assert classifier is not None and classifier.attached_log is log
+        return lambda: classifier.sweep(log, start_tick, end_tick)
+
+    cases = (
+        ("cold-brute-force", brute_case),
+        ("cold-bucketed", bucketed_case),
+        ("incremental", incremental_case),
+    )
+    results = []
+    mean_by_name: dict[str, float] = {}
+    for name, make_case in cases:
+        stats = summarize(time_repeated(make_case, warmup, repetitions), warmup)
+        mean_by_name[name] = stats.mean_s
+        results.append({"name": name, "stats": stats.as_dict()})
+    derived = {
+        "log_records": len(log),
+        "window_records": len(log.records_between(start_tick, end_tick)),
+        "speedup_incremental_vs_cold_brute": (
+            mean_by_name["cold-brute-force"] / mean_by_name["incremental"]
+        ),
+        "speedup_incremental_vs_cold_bucketed": (
+            mean_by_name["cold-bucketed"] / mean_by_name["incremental"]
+        ),
+        "speedup_bucketed_vs_cold_brute": (
+            mean_by_name["cold-brute-force"] / mean_by_name["cold-bucketed"]
+        ),
+    }
+    settings = {
+        "seed": BENCH_SEED,
+        "measurement_days": measurement_days,
+        "window": [start_tick, end_tick],
+    }
+    return _envelope("sweep", smoke, settings, results, derived)
+
+
+# ----------------------------------------------------------------------
+# run_standard — the whole pipeline, fast path vs. naive
+# ----------------------------------------------------------------------
+
+def bench_run_standard(smoke: bool) -> dict:
+    warmup, repetitions = (0, 1) if smoke else (1, 3)
+    results = []
+    mean_by_mode: dict[str, float] = {}
+
+    def make_case(fast: bool) -> Callable[[], object]:
+        config = StudyConfig.tiny(seed=BENCH_SEED)
+        if smoke:
+            config = replace(config, honeypot_days=2, measurement_days=2)
+        study = Study(replace(config, fast_path=fast))
+        return lambda: study.run_standard()
+
+    cases = {_mode_label(fast): (lambda fast=fast: make_case(fast)) for fast in (True, False)}
+    for label, samples in time_interleaved(cases, warmup, repetitions).items():
+        stats = summarize(samples, warmup)
+        mean_by_mode[label] = stats.mean_s
+        results.append({"name": f"run-standard-{label}", "stats": stats.as_dict()})
+    settings = {"seed": BENCH_SEED, "preset": "tiny"}
+    derived = {"speedup_fast_vs_naive": mean_by_mode["naive"] / mean_by_mode["fast"]}
+    return _envelope("run_standard", smoke, settings, results, derived)
+
+
+#: scenario name -> builder, in emission order
+SCENARIOS: dict[str, Callable[[bool], dict]] = {
+    "tick_loop": bench_tick_loop,
+    "sweep": bench_sweep,
+    "run_standard": bench_run_standard,
+}

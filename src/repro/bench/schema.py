@@ -1,0 +1,98 @@
+"""The ``BENCH_*.json`` envelope and its validator.
+
+All scenario files share one envelope::
+
+    {
+      "schema_version": 1,
+      "benchmark": "<scenario name>",
+      "mode": "full" | "smoke",
+      "settings": { ...scenario knobs (seed, scales, days, ...) },
+      "results": [
+        {
+          "name": "<case label>",
+          "stats": {"warmup": int, "repetitions": int,
+                    "best_s": float, "mean_s": float, "median_s": float},
+          ...optional extra numeric fields (e.g. "ticks_per_s")
+        },
+        ...
+      ],
+      "derived": { ...optional cross-case numbers (e.g. speedups) }
+    }
+
+The validator is pure python (no jsonschema dependency) and is what CI's
+bench smoke job runs over the emitted files.
+"""
+
+from __future__ import annotations
+
+SCHEMA_VERSION = 1
+
+_STATS_FIELDS: tuple[tuple[str, type | tuple[type, ...]], ...] = (
+    ("warmup", int),
+    ("repetitions", int),
+    ("best_s", (int, float)),
+    ("mean_s", (int, float)),
+    ("median_s", (int, float)),
+)
+
+
+def _check(condition: bool, message: str, errors: list[str]) -> bool:
+    if not condition:
+        errors.append(message)
+    return condition
+
+
+def validate_payload(payload: object) -> list[str]:
+    """Problems with one BENCH payload; empty list means valid."""
+    errors: list[str] = []
+    if not _check(isinstance(payload, dict), "payload must be a JSON object", errors):
+        return errors
+    assert isinstance(payload, dict)
+
+    version = payload.get("schema_version")
+    _check(
+        version == SCHEMA_VERSION,
+        f"schema_version must be {SCHEMA_VERSION}, got {version!r}",
+        errors,
+    )
+    benchmark = payload.get("benchmark")
+    _check(
+        isinstance(benchmark, str) and bool(benchmark),
+        "benchmark must be a non-empty string",
+        errors,
+    )
+    _check(payload.get("mode") in ("full", "smoke"), "mode must be 'full' or 'smoke'", errors)
+    _check(isinstance(payload.get("settings"), dict), "settings must be an object", errors)
+    if "derived" in payload:
+        _check(isinstance(payload["derived"], dict), "derived must be an object", errors)
+
+    results = payload.get("results")
+    if not _check(
+        isinstance(results, list) and bool(results),
+        "results must be a non-empty array",
+        errors,
+    ):
+        return errors
+    assert isinstance(results, list)
+    for index, result in enumerate(results):
+        where = f"results[{index}]"
+        if not _check(isinstance(result, dict), f"{where} must be an object", errors):
+            continue
+        _check(
+            isinstance(result.get("name"), str) and bool(result.get("name")),
+            f"{where}.name must be a non-empty string",
+            errors,
+        )
+        stats = result.get("stats")
+        if not _check(isinstance(stats, dict), f"{where}.stats must be an object", errors):
+            continue
+        assert isinstance(stats, dict)
+        for field_name, expected in _STATS_FIELDS:
+            value = stats.get(field_name)
+            ok = isinstance(value, expected) and not isinstance(value, bool)
+            _check(ok, f"{where}.stats.{field_name} must be a number", errors)
+        if isinstance(stats.get("repetitions"), int):
+            _check(
+                stats["repetitions"] >= 1, f"{where}.stats.repetitions must be >= 1", errors
+            )
+    return errors

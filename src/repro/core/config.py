@@ -131,6 +131,11 @@ class StudyConfig:
     #: Instalex's curated recipient list: the share of its like targets
     #: drawn from the curated pool rather than ordinary targeting
     curated_mix_fraction: float = 0.7
+    #: run the indexed/incremental hot paths: timing-wheel agent
+    #: scheduling in Study.tick and streaming log attribution. Results
+    #: are bit-identical either way (test-enforced); False keeps the
+    #: naive reference loops for equivalence testing and debugging.
+    fast_path: bool = True
     #: arm services with post-block migration (the Section 6.4 epilogue:
     #: ASN moves, and for the Insta* parent an extensive proxy network).
     #: Off by default — the tabled analyses predate the epilogue.

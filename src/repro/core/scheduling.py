@@ -1,0 +1,102 @@
+"""Bucketed timing-wheel scheduling for the study's per-tick agents.
+
+:meth:`repro.core.study.Study.tick` used to visit every driver, service,
+and honeypot helper 24 times per simulated day regardless of whether it
+had anything to do. The wheel inverts that: each agent reports, after it
+runs, the next tick it needs to run at (``next_wake_tick``), and the
+study only visits agents whose wake tick has arrived.
+
+Determinism contract: agents that draw from their RNG every tick (the
+clientele and organic drivers, the service engines) must report
+``now + 1`` — skipping them would change the draw sequence and perturb
+the seeded results. Only agents whose idle tick is verifiably a no-op
+(no RNG, no platform calls) may park themselves; the collusion-honeypot
+driver is the canonical example. The equivalence test in
+``tests/test_core_fastpath_equivalence.py`` enforces that the wheel and
+the naive loop produce bit-identical studies.
+
+Within a tick, due agents always run in registration order, which the
+study keeps identical to the naive loop's visit order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+#: return value of a ``next_wake_tick`` hook meaning "park me; I will be
+#: woken explicitly (or never)"
+NEVER: None = None
+
+
+@dataclass
+class _Agent:
+    name: str
+    run: Callable[[], None]
+    next_wake: Optional[Callable[[int], Optional[int]]]
+    index: int
+    scheduled_at: Optional[int] = None
+
+
+@dataclass
+class TimingWheel:
+    """Exact-tick buckets of agents, visited once per simulated hour."""
+
+    _agents: list[_Agent] = field(default_factory=list)
+    _by_name: dict[str, _Agent] = field(default_factory=dict)
+    _buckets: dict[int, list[_Agent]] = field(default_factory=dict)
+
+    def add(
+        self,
+        name: str,
+        run: Callable[[], None],
+        next_wake: Optional[Callable[[int], Optional[int]]] = None,
+        first_tick: int = 0,
+    ) -> None:
+        """Register an agent, due at ``first_tick``.
+
+        ``next_wake(now)`` is consulted after each run; ``None`` (the hook
+        itself, or its return value — :data:`NEVER`) means "due every
+        tick" and "parked", respectively.
+        """
+        if name in self._by_name:
+            raise ValueError(f"agent {name!r} already registered")
+        agent = _Agent(name=name, run=run, next_wake=next_wake, index=len(self._agents))
+        self._agents.append(agent)
+        self._by_name[name] = agent
+        self._schedule(agent, first_tick)
+
+    def _schedule(self, agent: _Agent, tick: int) -> None:
+        agent.scheduled_at = tick
+        self._buckets.setdefault(tick, []).append(agent)
+
+    def wake(self, name: str, tick: int) -> None:
+        """Pull an agent's wake earlier (or unpark it) — e.g. after an
+        external event creates work for a parked agent."""
+        agent = self._by_name[name]
+        if agent.scheduled_at is not None and agent.scheduled_at <= tick:
+            return
+        if agent.scheduled_at is not None:
+            self._buckets[agent.scheduled_at].remove(agent)
+        self._schedule(agent, tick)
+
+    def scheduled_tick(self, name: str) -> Optional[int]:
+        """When the agent next runs (None = parked). For tests/diagnostics."""
+        return self._by_name[name].scheduled_at
+
+    def run_due(self, now: int) -> int:
+        """Run every agent due at ``now`` (in registration order); returns
+        how many ran. Must be called for consecutive ticks."""
+        due = self._buckets.pop(now, None)
+        if not due:
+            return 0
+        due.sort(key=lambda agent: agent.index)
+        for agent in due:
+            agent.scheduled_at = None
+            agent.run()
+            if agent.scheduled_at is not None:
+                continue  # the run itself woke the agent (re-entrant wake)
+            wake = now + 1 if agent.next_wake is None else agent.next_wake(now)
+            if wake is not NEVER:
+                self._schedule(agent, max(wake, now + 1))
+        return len(due)

@@ -21,6 +21,7 @@ from repro.behavior.organic import OrganicActivityDriver
 from repro.behavior.population import OrganicPopulation
 from repro.behavior.reciprocity import ReciprocityModel
 from repro.core.config import StudyConfig
+from repro.core.scheduling import NEVER, TimingWheel
 from repro.detection.classifier import AASClassifier, AttributedActivity
 from repro.detection.customers import CustomerBaseAnalytics
 from repro.detection.signals import ServiceSignature, learn_signature
@@ -118,6 +119,7 @@ class Study:
         self.reciprocation_results: list[ReciprocationResult] = []
         self.measurement_start: int | None = None
         self.measurement_end: int | None = None
+        self._wheel = self._build_wheel() if config.fast_path else None
 
     # ------------------------------------------------------------------
     # World construction
@@ -305,14 +307,56 @@ class Study:
     # Simulation loop
     # ------------------------------------------------------------------
 
+    def _build_wheel(self) -> TimingWheel:
+        """Register every per-tick agent, in the naive loop's visit order.
+
+        Registration order is the wheel's tie-break within a tick, so the
+        fast path runs agents in exactly the order :meth:`tick`'s
+        reference loop would — a prerequisite for bit-identical results.
+        """
+        wheel = TimingWheel()
+        for name, driver in self.clientele.items():
+            wheel.add(f"clientele:{name}", driver.tick, driver.next_wake_tick)
+        wheel.add(
+            "collusion-honeypots", self._drive_collusion_honeypots, self._collusion_next_wake
+        )
+        for name, service in self.services.items():
+            wheel.add(f"service:{name}", service.tick, service.next_wake_tick)
+        wheel.add("organic", self.organic.tick, self.organic.next_wake_tick)
+        return wheel
+
+    def _collusion_next_wake(self, now: int) -> int | None:
+        """The one agent allowed to idle-skip: its idle tick is RNG-free.
+
+        A collusion honeypot's enrollment horizon (trial or paid window)
+        never extends — honeypots never pay — so once every enrollment
+        has lapsed the driver is a permanent no-op and parks. Registering
+        a new collusion honeypot must call :meth:`_wake_collusion`.
+        """
+        upcoming = now + 1
+        for service, honeypot in self._collusion_honeypots:
+            if honeypot.deleted:
+                continue
+            record = service.customers.get(honeypot.account_id)
+            if record is not None and record.service_active(upcoming):
+                return upcoming
+        return NEVER
+
+    def _wake_collusion(self) -> None:
+        if self._wheel is not None:
+            self._wheel.wake("collusion-honeypots", self.clock.now)
+
     def tick(self) -> None:
         """One simulated hour of the whole world."""
-        for driver in self.clientele.values():
-            driver.tick()
-        self._drive_collusion_honeypots()
-        for service in self.services.values():
-            service.tick()
-        self.organic.tick()
+        if self._wheel is not None:
+            self._wheel.run_due(self.clock.now)
+        else:
+            for driver in self.clientele.values():
+                driver.tick()
+            self._drive_collusion_honeypots()
+            for service in self.services.values():
+                service.tick()
+            self.organic.tick()
         self.clock.advance(1)
 
     def run_hours(self, hours: int) -> None:
@@ -361,6 +405,7 @@ class Study:
                 trial_ticks=days(self.config.honeypot_days + 1),
             )
             self._collusion_honeypots.append((service, honeypot))
+        self._wake_collusion()
 
     def _drive_collusion_honeypots(self) -> None:
         """Honeypots enrolled in collusion networks request free actions
@@ -400,7 +445,7 @@ class Study:
         """Build the classifier from honeypot ground truth."""
         signatures: list[ServiceSignature] = []
         insta_records = []
-        for registration in self.reciprocation._registrations:
+        for registration in self.reciprocation.registrations():
             records = self.honeypots.outbound_actions(
                 registration.honeypot, since=registration.registered_at
             )
@@ -428,8 +473,23 @@ class Study:
                 signatures = _accumulate(
                     signatures, service_name, ServiceType.COLLUSION_NETWORK, records
                 )
-        self.classifier = AASClassifier(signatures)
+        self._set_classifier(AASClassifier(signatures))
+        assert self.classifier is not None
         return self.classifier
+
+    def _set_classifier(self, classifier: AASClassifier) -> None:
+        """Install a classifier, managing the streaming attachment.
+
+        On the fast path the classifier observes every future log append,
+        so repeated sweeps (interventions, the epilogue) are incremental
+        instead of rescanning the full log; replacing the classifier
+        (signature relearning) must detach the old observer first.
+        """
+        if self.classifier is not None and self.classifier.attached_log is not None:
+            self.classifier.detach()
+        self.classifier = classifier
+        if self.config.fast_path:
+            classifier.attach(self.platform.log)
 
     def teardown_honeypots(self) -> int:
         """Delete all honeypots (the paper's post-measurement cleanup)."""
@@ -463,6 +523,7 @@ class Study:
             )
             if isinstance(service, CollusionNetworkService):
                 self._collusion_honeypots.append((service, honeypot))
+                self._wake_collusion()
             probes.append((label, honeypot))
         self.run_days(probe_days)
         consistent: dict[str, bool] = {}
@@ -499,7 +560,7 @@ class Study:
     def build_dataset(self, start_tick: int, end_tick: int) -> MeasurementDataset:
         """Sweep + analytics over an arbitrary window."""
         assert self.classifier is not None
-        attributed = self.classifier.sweep(list(self.platform.log), start_tick, end_tick)
+        attributed = self.classifier.sweep(self.platform.log, start_tick, end_tick)
         analytics: dict[str, CustomerBaseAnalytics] = {}
         for name, activity in attributed.items():
             if name == "Followersgratis":
@@ -558,7 +619,7 @@ class Study:
         self.run_days(duration_days)
         end_tick = self.clock.now
         controller.stop()
-        attributed = self.classifier.sweep(list(self.platform.log), start_tick, end_tick)
+        attributed = self.classifier.sweep(self.platform.log, start_tick, end_tick)
         assert controller.thresholds is not None
         return InterventionOutcome(
             name=name,
@@ -617,7 +678,7 @@ class Study:
                 client_variants=existing.client_variants
                 | frozenset({service.fingerprint.variant}),
             )
-        self.classifier = AASClassifier(list(merged.values()))
+        self._set_classifier(AASClassifier(list(merged.values())))
 
     def run_epilogue(
         self,
@@ -686,7 +747,7 @@ class Study:
         suspended = bool(getattr(hub, "sales_suspended", False))
         # how much of the services' post-epilogue traffic the original
         # (pre-migration) signatures still catch
-        window = [r for r in self.platform.log if r.tick >= start_tick]
+        window = self.platform.log.records_between(start_tick, None)
         automation = [r for r in window if r.endpoint.fingerprint.variant.startswith("aas-")]
         caught = sum(1 for r in automation if self.classifier.attribute(r) is not None)
         coverage = caught / len(automation) if automation else 1.0

@@ -7,16 +7,37 @@ matched actions are service customers, and for collusion networks the
 *recipients* of matched actions are customers as well (including the
 inbound-only accounts that pay the no-outbound fee — Section 5.2 counts
 them exactly this way).
+
+Three execution tiers produce bit-identical results (the equivalence is
+test-enforced):
+
+1. **Brute force** — any iterable of records; every record is matched
+   against the signature list. The reference semantics.
+2. **Bucketed cold sweep** — an :class:`~repro.platform.actions.ActionLog`
+   argument lets the sweep read the log's (ASN, action type, variant)
+   buckets: only records whose bucket intersects some signature are
+   touched, with first-matching-signature conflict resolution identical
+   to brute force.
+3. **Streaming attribution** — :meth:`AASClassifier.attach` registers the
+   classifier as a log observer; records are attributed once, on append,
+   into per-service (and benign) record caches, so every later sweep over
+   the attached log is a binary search plus one list slice per service.
+
+All tiers share a per-(ASN, variant) match memo: signatures only inspect
+the endpoint, so distinct endpoints — not records — bound the matching
+work.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from collections import defaultdict
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
 from repro.aas.base import ServiceType
 from repro.detection.signals import ServiceSignature
+from repro.platform.actions import ActionLog
 from repro.platform.models import AccountId, ActionRecord, ActionStatus
 
 
@@ -57,21 +78,118 @@ class AttributedActivity:
         return {r.endpoint.asn for r in self.records}
 
 
+def _cut_window(values: list, ticks: list[int], start_tick: int, end_tick: int | None) -> list:
+    """Slice ``values`` (parallel to sorted ``ticks``) to a tick window."""
+    lo = bisect_left(ticks, start_tick)
+    hi = len(ticks) if end_tick is None else bisect_left(ticks, end_tick)
+    return values[lo:max(hi, lo)]
+
+
 class AASClassifier:
-    """Attributes log records to services via learned signatures."""
+    """Attributes log records to services via learned signatures.
+
+    The signature list must not be mutated after construction (the match
+    memo and streaming caches key off it); re-learning builds a new
+    classifier, as :meth:`repro.core.study.Study.learn_signatures` does.
+    """
 
     def __init__(self, signatures: Iterable[ServiceSignature]):
         self.signatures = list(signatures)
         names = [s.service for s in self.signatures]
         if len(names) != len(set(names)):
             raise ValueError("duplicate service signatures")
+        #: (asn, variant) -> service-or-None; matching depends only on the
+        #: endpoint, so distinct endpoints bound the matching work
+        self._match_memo: dict[tuple[int, str], Optional[str]] = {}
+        # streaming-attribution state (populated by attach()); records are
+        # cached by reference so a window sweep is a bisect plus one slice
+        self._log: ActionLog | None = None
+        self._stream_records: dict[str, list[ActionRecord]] = {}
+        self._stream_ticks: dict[str, list[int]] = {}
+        self._benign_records: list[ActionRecord] = []
+        self._benign_ticks: list[int] = []
+        self._stream_ordered = True
 
     def attribute(self, record: ActionRecord) -> Optional[str]:
         """Service name for one record, or None if it looks benign."""
+        key = (record.endpoint.asn, record.endpoint.fingerprint.variant)
+        try:
+            return self._match_memo[key]
+        except KeyError:
+            pass
+        service: Optional[str] = None
         for signature in self.signatures:
             if signature.matches(record):
-                return signature.service
-        return None
+                service = signature.service
+                break
+        self._match_memo[key] = service
+        return service
+
+    # ------------------------------------------------------------------
+    # Streaming attribution (the incremental fast path)
+    # ------------------------------------------------------------------
+
+    @property
+    def attached_log(self) -> ActionLog | None:
+        """The log this classifier streams from, if any."""
+        return self._log
+
+    def attach(self, log: ActionLog) -> None:
+        """Stream-attribute ``log``: existing records now, the rest on append.
+
+        Once attached, :meth:`sweep` and :meth:`benign_records` calls that
+        pass this log become index lookups over the cached attribution
+        instead of full rescans.
+        """
+        if self._log is log:
+            return
+        if self._log is not None:
+            self.detach()
+        self._log = log
+        self._stream_records = {s.service: [] for s in self.signatures}
+        self._stream_ticks = {s.service: [] for s in self.signatures}
+        self._benign_records = []
+        self._benign_ticks = []
+        self._stream_ordered = True
+        for record in log:
+            self._observe(record)
+        log.add_observer(self._observe)
+
+    def detach(self) -> None:
+        """Stop observing; subsequent sweeps fall back to cold paths."""
+        if self._log is None:
+            return
+        self._log.remove_observer(self._observe)
+        self._log = None
+        self._stream_records = {}
+        self._stream_ticks = {}
+        self._benign_records = []
+        self._benign_ticks = []
+
+    def _observe(self, record: ActionRecord) -> None:
+        # the per-append hot path: one memo lookup, two list appends
+        endpoint = record.endpoint
+        key = (endpoint.asn, endpoint.fingerprint.variant)
+        memo = self._match_memo
+        if key in memo:
+            service = memo[key]
+        else:
+            service = self.attribute(record)
+        if service is None:
+            records, ticks = self._benign_records, self._benign_ticks
+        else:
+            records, ticks = self._stream_records[service], self._stream_ticks[service]
+        if ticks and record.tick < ticks[-1]:
+            self._stream_ordered = False  # out-of-order append: bisect invalid
+        records.append(record)
+        ticks.append(record.tick)
+
+    def _streaming_for(self, records: Iterable[ActionRecord]) -> bool:
+        return self._log is not None and records is self._log and self._stream_ordered
+
+    # ------------------------------------------------------------------
+    # Sweeps
+    # ------------------------------------------------------------------
 
     def sweep(
         self,
@@ -85,6 +203,10 @@ class AASClassifier:
         Blocked attempts are included by default — they are still abuse
         attempts and the intervention analyses need them.
         """
+        if self._streaming_for(records):
+            return self._sweep_streamed(start_tick, end_tick, include_blocked)
+        if isinstance(records, ActionLog) and records.ticks_monotonic:
+            return self._sweep_bucketed(records, start_tick, end_tick, include_blocked)
         out = {
             s.service: AttributedActivity(service=s.service, service_type=s.service_type)
             for s in self.signatures
@@ -101,6 +223,77 @@ class AASClassifier:
                 out[service].records.append(record)
         return out
 
+    def _materialize(
+        self, log: ActionLog, ids: list[int], include_blocked: bool
+    ) -> list[ActionRecord]:
+        records = [log.get(i) for i in ids]
+        if not include_blocked:
+            records = [r for r in records if r.status is not ActionStatus.BLOCKED]
+        return records
+
+    def _sweep_streamed(
+        self, start_tick: int, end_tick: int | None, include_blocked: bool
+    ) -> dict[str, AttributedActivity]:
+        assert self._log is not None
+        out = {}
+        for signature in self.signatures:
+            records = _cut_window(
+                self._stream_records[signature.service],
+                self._stream_ticks[signature.service],
+                start_tick,
+                end_tick,
+            )
+            if not include_blocked:
+                records = [r for r in records if r.status is not ActionStatus.BLOCKED]
+            out[signature.service] = AttributedActivity(
+                service=signature.service,
+                service_type=signature.service_type,
+                records=records,
+            )
+        return out
+
+    def _sweep_bucketed(
+        self,
+        log: ActionLog,
+        start_tick: int,
+        end_tick: int | None,
+        include_blocked: bool,
+    ) -> dict[str, AttributedActivity]:
+        """Cold sweep via the log's signature buckets.
+
+        Signatures are tried in list order per record (first match wins)
+        — reproduced here by letting earlier signatures claim bucket ids
+        before later ones see them. A signature with an open feature set
+        (no ASNs or no variants) cannot be enumerated from buckets and
+        falls back to scanning the window once for that signature.
+        """
+        out = {
+            s.service: AttributedActivity(service=s.service, service_type=s.service_type)
+            for s in self.signatures
+        }
+        claimed: set[int] = set()
+        for signature in self.signatures:
+            if signature.asns and signature.client_variants:
+                ids: list[int] = []
+                for asn in sorted(signature.asns):
+                    for variant in sorted(signature.client_variants):
+                        ids.extend(
+                            log.ids_by_signature(
+                                asn, variant, start_tick=start_tick, end_tick=end_tick
+                            )
+                        )
+                ids.sort()
+            else:
+                ids = [
+                    r.action_id
+                    for r in log.records_between(start_tick, end_tick)
+                    if signature.matches(r)
+                ]
+            fresh = [i for i in ids if i not in claimed]
+            claimed.update(fresh)
+            out[signature.service].records = self._materialize(log, fresh, include_blocked)
+        return out
+
     def benign_records(
         self,
         records: Iterable[ActionRecord],
@@ -109,6 +302,11 @@ class AASClassifier:
     ) -> list[ActionRecord]:
         """Records matching no signature — the legitimate-traffic pool the
         intervention thresholds are computed from (Section 6.2)."""
+        if self._streaming_for(records):
+            return _cut_window(self._benign_records, self._benign_ticks, start_tick, end_tick)
+        if isinstance(records, ActionLog):
+            records = records.records_between(start_tick, end_tick)
+            start_tick, end_tick = 0, None
         out = []
         for record in records:
             if record.tick < start_tick:

@@ -122,6 +122,14 @@ class ReciprocationExperiment:
 
         return days(7)
 
+    def registrations(self) -> tuple[_Registration, ...]:
+        """Every (honeypot, service, action type) registration so far.
+
+        Read-only view: the study's signature learning iterates this to
+        pull each honeypot's post-registration outbound actions.
+        """
+        return tuple(self._registrations)
+
     # ------------------------------------------------------------------
     # Measurement
     # ------------------------------------------------------------------

@@ -162,8 +162,8 @@ class HoneypotFramework:
         """
         return [
             r
-            for r in self.platform.log.inbound(honeypot.account_id)
-            if r.tick >= since and r.status is not ActionStatus.BLOCKED
+            for r in self.platform.log.by_target_between(honeypot.account_id, since, None)
+            if r.status is not ActionStatus.BLOCKED
         ]
 
     def outbound_actions(
@@ -177,9 +177,8 @@ class HoneypotFramework:
         """
         return [
             r
-            for r in self.platform.log.outbound(honeypot.account_id)
-            if r.tick >= since
-            and r.status is not ActionStatus.BLOCKED
+            for r in self.platform.log.by_actor_between(honeypot.account_id, since, None)
+            if r.status is not ActionStatus.BLOCKED
             and (include_self or r.action_id not in self.self_action_ids)
         ]
 

@@ -45,6 +45,11 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print every rule id and summary, then exit",
     )
+    parser.add_argument(
+        "--list-waivers",
+        action="store_true",
+        help="print every module-scoped waiver and its reason, then exit",
+    )
     return parser
 
 
@@ -55,6 +60,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.list_rules:
         for rule in all_rules():
             print(f"{rule.rule_id}  {rule.summary}")
+        return 0
+
+    if args.list_waivers:
+        from repro.lint.waivers import WAIVERS
+
+        for waiver in WAIVERS:
+            print(f"{waiver.rule}  {waiver.module_prefix}.*  {waiver.reason}")
         return 0
 
     if not args.paths:

@@ -8,6 +8,10 @@ The bracket list names the rule ids being waived on that line; a bare
 ``# repro-lint: ignore`` waives every rule on the line. Suppressions are
 per-line and should always carry a trailing justification — the linter
 does not enforce the prose, review does.
+
+Whole-subtree exemptions (e.g. the perf harness reading the wall clock)
+live in :mod:`repro.lint.waivers` instead of per-line pragmas; the
+engine drops a finding when a waiver covers its (rule, module) pair.
 """
 
 from __future__ import annotations
@@ -21,6 +25,7 @@ from typing import Iterable, Iterator, Sequence
 
 from repro.lint.findings import PARSE_RULE, Finding
 from repro.lint.rules import ModuleContext, Rule, all_rules
+from repro.lint.waivers import find_waiver
 
 #: directory names never descended into when a *directory* is linted;
 #: passing such a path explicitly on the command line still lints it
@@ -122,6 +127,7 @@ def lint_source(
         if rule.applies_to(ctx)
         for finding in rule.check(ctx)
         if not _is_suppressed(finding, suppressions)
+        and find_waiver(finding.rule, ctx.module) is None
     ]
     return sorted(findings)
 

@@ -31,6 +31,7 @@ LAYER_RANK: dict[str, int] = {
     "analysis": 5,
     "interventions": 5,
     "core": 6,
+    "bench": 7,
 }
 
 #: rank assigned to anything not in the table (top-level modules such as

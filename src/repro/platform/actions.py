@@ -5,23 +5,61 @@ annotated with actor, target, tick, network endpoint, and API surface.
 The detection, analysis, and intervention packages all consume this log;
 it is the simulator's equivalent of the internal Instagram data the
 paper's authors had access to.
+
+The log is *indexed* (DESIGN.md "Performance architecture"): appends
+maintain a parallel tick array, per-actor/per-target tick arrays, and
+per-(ASN, action type, client-variant) signature buckets, so every
+``[start_tick, end_tick)`` window query is a binary search plus a slice
+instead of a full-log scan. The platform appends in simulation order, so
+ticks are non-decreasing and the bisect fast path applies; a log built
+with out-of-order ticks (possible when tests append synthetic records)
+degrades transparently to the brute-force filters.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from collections import defaultdict
 from typing import Callable, Iterable, Iterator, Optional
 
+from repro.netsim.client import ClientEndpoint
 from repro.platform.models import AccountId, ActionRecord, ActionStatus, ActionType
+
+#: a signature-bucket key: (ASN, action type, client fingerprint variant)
+SignatureKey = tuple[int, ActionType, str]
+
+
+def _window(
+    ticks: list[int], start_tick: Optional[int], end_tick: Optional[int]
+) -> tuple[int, int]:
+    """Offsets of ``[start_tick, end_tick)`` in a sorted tick array."""
+    lo = 0 if start_tick is None else bisect_left(ticks, start_tick)
+    hi = len(ticks) if end_tick is None else bisect_left(ticks, end_tick)
+    return lo, max(hi, lo)
 
 
 class ActionLog:
-    """Append-only action store with actor/target/day indices."""
+    """Append-only action store with tick/actor/target/signature indices."""
 
     def __init__(self):
         self._records: list[ActionRecord] = []
+        #: parallel array of record ticks (non-decreasing on the platform
+        #: append path); window queries bisect it
+        self._ticks: list[int] = []
         self._by_actor: dict[AccountId, list[int]] = defaultdict(list)
+        self._by_actor_ticks: dict[AccountId, list[int]] = defaultdict(list)
         self._by_target: dict[AccountId, list[int]] = defaultdict(list)
+        self._by_target_ticks: dict[AccountId, list[int]] = defaultdict(list)
+        #: per-(ASN, action type, variant) buckets of record ids, with
+        #: parallel tick arrays — the attribution sweep's access pattern
+        self._by_signature: dict[SignatureKey, list[int]] = defaultdict(list)
+        self._by_signature_ticks: dict[SignatureKey, list[int]] = defaultdict(list)
+        #: canonical ClientEndpoint instances; AAS exits and per-user home
+        #: endpoints repeat across millions of records, so sharing one
+        #: object per distinct endpoint keeps the log's footprint flat
+        self._interned_endpoints: dict[ClientEndpoint, ClientEndpoint] = {}
+        self._observers: list[Callable[[ActionRecord], None]] = []
+        self._monotonic = True
 
     def append(self, record: ActionRecord) -> None:
         """Append one record; ids must be the log's next index."""
@@ -29,10 +67,21 @@ class ActionLog:
             raise ValueError(
                 f"action_id {record.action_id} out of order; expected {len(self._records)}"
             )
+        record.endpoint = self._interned_endpoints.setdefault(record.endpoint, record.endpoint)
+        if self._ticks and record.tick < self._ticks[-1]:
+            self._monotonic = False
         self._records.append(record)
+        self._ticks.append(record.tick)
         self._by_actor[record.actor].append(record.action_id)
+        self._by_actor_ticks[record.actor].append(record.tick)
         if record.target_account is not None:
             self._by_target[record.target_account].append(record.action_id)
+            self._by_target_ticks[record.target_account].append(record.tick)
+        key = (record.endpoint.asn, record.action_type, record.endpoint.fingerprint.variant)
+        self._by_signature[key].append(record.action_id)
+        self._by_signature_ticks[key].append(record.tick)
+        for observer in self._observers:
+            observer(record)
 
     def next_id(self) -> int:
         return len(self._records)
@@ -46,13 +95,168 @@ class ActionLog:
     def get(self, action_id: int) -> ActionRecord:
         return self._records[action_id]
 
+    # ------------------------------------------------------------------
+    # Observers (streaming consumers, e.g. incremental attribution)
+    # ------------------------------------------------------------------
+
+    def add_observer(self, observer: Callable[[ActionRecord], None]) -> None:
+        """Call ``observer(record)`` after every future append.
+
+        Observers see records already indexed; they must not append to
+        the log themselves.
+        """
+        if observer not in self._observers:
+            self._observers.append(observer)
+
+    def remove_observer(self, observer: Callable[[ActionRecord], None]) -> None:
+        if observer in self._observers:
+            self._observers.remove(observer)
+
+    # ------------------------------------------------------------------
+    # Window queries (bisect fast path)
+    # ------------------------------------------------------------------
+
+    @property
+    def ticks_monotonic(self) -> bool:
+        """Whether appends arrived in tick order (enables bisect paths)."""
+        return self._monotonic
+
+    def offsets_between(
+        self, start_tick: Optional[int] = None, end_tick: Optional[int] = None
+    ) -> tuple[int, int]:
+        """``(lo, hi)`` record-id offsets covering ``[start_tick, end_tick)``.
+
+        Only meaningful while :attr:`ticks_monotonic` holds; raises
+        otherwise so callers cannot silently read a wrong slice.
+        """
+        if not self._monotonic:
+            raise ValueError("tick offsets undefined: log was appended out of tick order")
+        return _window(self._ticks, start_tick, end_tick)
+
+    def records_between(
+        self, start_tick: Optional[int] = None, end_tick: Optional[int] = None
+    ) -> list[ActionRecord]:
+        """All records in ``[start_tick, end_tick)``, in log order."""
+        if self._monotonic:
+            lo, hi = _window(self._ticks, start_tick, end_tick)
+            return self._records[lo:hi]
+        return self.select(start_tick=start_tick, end_tick=end_tick)
+
+    def _indexed_between(
+        self,
+        ids: dict[AccountId, list[int]],
+        ticks: dict[AccountId, list[int]],
+        key: AccountId,
+        start_tick: Optional[int],
+        end_tick: Optional[int],
+    ) -> list[ActionRecord]:
+        indices = ids.get(key)
+        if not indices:
+            return []
+        if self._monotonic:
+            lo, hi = _window(ticks[key], start_tick, end_tick)
+            return [self._records[i] for i in indices[lo:hi]]
+        out = []
+        for i in indices:
+            record = self._records[i]
+            if start_tick is not None and record.tick < start_tick:
+                continue
+            if end_tick is not None and record.tick >= end_tick:
+                continue
+            out.append(record)
+        return out
+
     def by_actor(self, actor: AccountId) -> list[ActionRecord]:
         """All actions performed by ``actor`` (any status), in time order."""
         return [self._records[i] for i in self._by_actor.get(actor, ())]
 
+    def by_actor_between(
+        self,
+        actor: AccountId,
+        start_tick: Optional[int] = None,
+        end_tick: Optional[int] = None,
+    ) -> list[ActionRecord]:
+        """``actor``'s actions within ``[start_tick, end_tick)``."""
+        return self._indexed_between(
+            self._by_actor, self._by_actor_ticks, actor, start_tick, end_tick
+        )
+
     def by_target(self, target: AccountId) -> list[ActionRecord]:
         """All actions directed at ``target`` (any status), in time order."""
         return [self._records[i] for i in self._by_target.get(target, ())]
+
+    def by_target_between(
+        self,
+        target: AccountId,
+        start_tick: Optional[int] = None,
+        end_tick: Optional[int] = None,
+    ) -> list[ActionRecord]:
+        """Actions directed at ``target`` within ``[start_tick, end_tick)``."""
+        return self._indexed_between(
+            self._by_target, self._by_target_ticks, target, start_tick, end_tick
+        )
+
+    def signature_keys(self) -> list[SignatureKey]:
+        """Every (ASN, action type, variant) bucket present, sorted."""
+        return sorted(self._by_signature, key=lambda k: (k[0], k[1].value, k[2]))
+
+    def ids_by_signature(
+        self,
+        asn: int,
+        variant: str,
+        action_type: Optional[ActionType] = None,
+        start_tick: Optional[int] = None,
+        end_tick: Optional[int] = None,
+    ) -> list[int]:
+        """Record ids in the (asn, action_type, variant) bucket(s), sorted.
+
+        With ``action_type=None`` the per-type buckets are merged back
+        into log order.
+        """
+        if action_type is not None:
+            keys = [(asn, action_type, variant)]
+        else:
+            keys = [(asn, t, variant) for t in ActionType]
+        selected: list[list[int]] = []
+        for key in keys:
+            indices = self._by_signature.get(key)
+            if not indices:
+                continue
+            if self._monotonic:
+                lo, hi = _window(self._by_signature_ticks[key], start_tick, end_tick)
+                selected.append(indices[lo:hi])
+            else:
+                selected.append(
+                    [
+                        i
+                        for i in indices
+                        if (start_tick is None or self._records[i].tick >= start_tick)
+                        and (end_tick is None or self._records[i].tick < end_tick)
+                    ]
+                )
+        if not selected:
+            return []
+        if len(selected) == 1:
+            return list(selected[0])
+        merged: list[int] = []
+        for ids in selected:
+            merged.extend(ids)
+        merged.sort()
+        return merged
+
+    def by_signature(
+        self,
+        asn: int,
+        variant: str,
+        action_type: Optional[ActionType] = None,
+        start_tick: Optional[int] = None,
+        end_tick: Optional[int] = None,
+    ) -> list[ActionRecord]:
+        """Records matching an (ASN, variant[, action type]) signature."""
+        return [
+            self._records[i]
+            for i in self.ids_by_signature(asn, variant, action_type, start_tick, end_tick)
+        ]
 
     def inbound(self, target: AccountId, *, delivered_only: bool = True) -> list[ActionRecord]:
         """Actions received by ``target``; by default only ones that landed."""
@@ -78,8 +282,13 @@ class ActionLog:
         predicate: Optional[Callable[[ActionRecord], bool]] = None,
     ) -> list[ActionRecord]:
         """Filter the full log. ``end_tick`` is exclusive."""
+        records: Iterable[ActionRecord] = self._records
+        if self._monotonic and (start_tick is not None or end_tick is not None):
+            lo, hi = _window(self._ticks, start_tick, end_tick)
+            records = self._records[lo:hi]
+            start_tick = end_tick = None
         out = []
-        for record in self._records:
+        for record in records:
             if action_type is not None and record.action_type is not action_type:
                 continue
             if status is not None and record.status is not status:
@@ -98,9 +307,8 @@ class ActionLog:
     ) -> int:
         """Number of non-blocked actions by ``actor`` on zero-based ``day``."""
         count = 0
-        for i in self._by_actor.get(actor, ()):
-            record = self._records[i]
-            if record.day != day or record.status is ActionStatus.BLOCKED:
+        for record in self.by_actor_between(actor, day * 24, (day + 1) * 24):
+            if record.status is ActionStatus.BLOCKED:
                 continue
             if action_type is not None and record.action_type is not action_type:
                 continue

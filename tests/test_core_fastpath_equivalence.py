@@ -1,0 +1,141 @@
+"""The fast path must be bit-identical to the naive reference loops.
+
+Two studies share a seed and differ only in ``fast_path``: one runs the
+timing wheel + bucketed/streaming attribution, the other the naive
+per-tick loop and brute-force sweeps. Every observable — the raw action
+log, attribution, analytics tables, intervention outcomes — must match
+exactly. This is the determinism contract of DESIGN.md's "Performance
+architecture" section.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core import Study, StudyConfig
+from repro.core import experiments as E
+from repro.core import reporting as R
+from repro.interventions.experiment import BroadInterventionPlan
+
+
+def _config(fast: bool) -> StudyConfig:
+    return replace(
+        StudyConfig.tiny(seed=314),
+        honeypot_days=3,
+        measurement_days=3,
+        fast_path=fast,
+    )
+
+
+@pytest.fixture(scope="module")
+def pair():
+    studies = {}
+    outcomes = {}
+    for fast in (True, False):
+        study = Study(_config(fast))
+        results = study.run_honeypot_phase()
+        study.learn_signatures()
+        stability = study.verify_signal_stability(probe_days=1)
+        dataset = study.run_measurement()
+        broad = study.run_broad_intervention(
+            BroadInterventionPlan(delay_days=1, block_days=1), calibration_days=2
+        )
+        studies[fast] = study
+        outcomes[fast] = (results, stability, dataset, broad)
+    return studies, outcomes
+
+
+def _log_rows(study: Study) -> list[tuple]:
+    return [
+        (
+            r.action_id,
+            r.tick,
+            r.actor,
+            r.action_type.value,
+            r.target_account,
+            r.status.value,
+            r.endpoint.asn,
+            r.endpoint.fingerprint.variant,
+        )
+        for r in study.platform.log
+    ]
+
+
+def test_action_logs_identical(pair) -> None:
+    studies, _ = pair
+    assert _log_rows(studies[True]) == _log_rows(studies[False])
+
+
+def test_reciprocation_tables_identical(pair) -> None:
+    _, outcomes = pair
+    fast_table = R.render_table5(E.table5_reciprocation(outcomes[True][0]))
+    naive_table = R.render_table5(E.table5_reciprocation(outcomes[False][0]))
+    assert fast_table == naive_table
+
+
+def test_signal_stability_identical(pair) -> None:
+    _, outcomes = pair
+    assert outcomes[True][1] == outcomes[False][1]
+
+
+def test_signatures_identical(pair) -> None:
+    studies, _ = pair
+    fast = studies[True].classifier
+    naive = studies[False].classifier
+    assert fast is not None and naive is not None
+    assert [
+        (s.service, s.service_type, s.asns, s.client_variants) for s in fast.signatures
+    ] == [(s.service, s.service_type, s.asns, s.client_variants) for s in naive.signatures]
+
+
+def test_measurement_attribution_identical(pair) -> None:
+    _, outcomes = pair
+    fast_ds, naive_ds = outcomes[True][2], outcomes[False][2]
+    assert (fast_ds.start_tick, fast_ds.end_tick) == (naive_ds.start_tick, naive_ds.end_tick)
+    fast_ids = {k: [r.action_id for r in v.records] for k, v in fast_ds.attributed.items()}
+    naive_ids = {k: [r.action_id for r in v.records] for k, v in naive_ds.attributed.items()}
+    assert fast_ids == naive_ids
+    assert fast_ds.service_asns == naive_ds.service_asns
+
+
+def test_measurement_tables_identical(pair) -> None:
+    _, outcomes = pair
+    fast_ds, naive_ds = outcomes[True][2], outcomes[False][2]
+    assert R.render_table6(E.table6_customers(fast_ds)) == R.render_table6(
+        E.table6_customers(naive_ds)
+    )
+    assert R.render_table11(E.table11_action_mix(fast_ds)) == R.render_table11(
+        E.table11_action_mix(naive_ds)
+    )
+
+
+def test_intervention_outcomes_identical(pair) -> None:
+    _, outcomes = pair
+    fast, naive = outcomes[True][3], outcomes[False][3]
+    assert (fast.start_day, fast.end_day, fast.switch_day) == (
+        naive.start_day,
+        naive.end_day,
+        naive.switch_day,
+    )
+    fast_ids = {k: [r.action_id for r in v.records] for k, v in fast.attributed.items()}
+    naive_ids = {k: [r.action_id for r in v.records] for k, v in naive.attributed.items()}
+    assert fast_ids == naive_ids
+
+
+def test_wheel_parks_collusion_driver_after_expiry(pair) -> None:
+    """The only idle-skipping agent actually parks once enrollments lapse."""
+    studies, _ = pair
+    study = studies[True]
+    assert study._wheel is not None
+    # by the end of the run every collusion-honeypot enrollment (trial
+    # honeypot_days + 1) is long past, so the driver must be parked
+    assert study._wheel.scheduled_tick("collusion-honeypots") is None
+    # always-due agents stay scheduled for the next tick
+    assert study._wheel.scheduled_tick("organic") == study.clock.now
+
+
+def test_naive_study_builds_no_wheel(pair) -> None:
+    studies, _ = pair
+    assert studies[False]._wheel is None

@@ -1,0 +1,88 @@
+"""Smoke tests: every ``examples/*.py`` runs end to end at tiny scale.
+
+Each example exposes ``main(...)`` with scale knobs; the tests shrink
+populations and day counts so the whole module stays in CI seconds while
+still exercising the real pipeline (the output markers asserted below
+only appear after the interesting phase actually ran).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+
+from repro.core import StudyConfig
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _load_example(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"examples_{name}", path)
+    assert spec is not None and spec.loader is not None
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+def _shrunk_tiny(seed: int) -> StudyConfig:
+    return replace(StudyConfig.tiny(seed=seed), honeypot_days=2, measurement_days=2)
+
+
+def test_quickstart(capsys: pytest.CaptureFixture) -> None:
+    module = _load_example("quickstart")
+    module.main(config=_shrunk_tiny(seed=2018))
+    out = capsys.readouterr().out
+    assert "Phase 3" in out
+    assert "Table 6" in out or "customers" in out.lower()
+
+
+def test_intervention_study(capsys: pytest.CaptureFixture) -> None:
+    module = _load_example("intervention_study")
+    module.main(
+        config=_shrunk_tiny(seed=6),
+        measurement_days=2,
+        narrow_days=2,
+        delay_days=1,
+        block_days=1,
+        calibration_days=2,
+    )
+    out = capsys.readouterr().out
+    assert "Narrow intervention" in out
+    assert "Broad intervention" in out
+
+
+def test_epilogue_arms_race(capsys: pytest.CaptureFixture) -> None:
+    module = _load_example("epilogue_arms_race")
+    module.main(config=_shrunk_tiny(seed=55), measurement_days=2, epilogue_days=6, relearn_days=2)
+    out = capsys.readouterr().out
+    assert "Scenario A" in out
+    assert "signature coverage" in out
+
+
+def test_collusion_network_demo(capsys: pytest.CaptureFixture) -> None:
+    module = _load_example("collusion_network_demo")
+    module.main(member_count=10, run_hours=12)
+    out = capsys.readouterr().out
+    assert "Revenue estimation" in out
+    assert "ground-truth ledger" in out
+
+
+def test_control_panel(capsys: pytest.CaptureFixture) -> None:
+    module = _load_example("control_panel")
+    module.main(population_size=200, run_days=2)
+    out = capsys.readouterr().out
+    assert "control panel" in out
+
+
+def test_honeypot_measurement(capsys: pytest.CaptureFixture) -> None:
+    module = _load_example("honeypot_measurement")
+    module.main(population_size=250, run_days=2)
+    out = capsys.readouterr().out
+    assert "Attribution baseline quiet: True" in out
+    assert "deleted" in out

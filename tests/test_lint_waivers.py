@@ -1,0 +1,78 @@
+"""Tests for module-scoped lint waivers (repro.lint.waivers).
+
+The load-bearing property is containment: the DET003 waiver for the
+perf harness must silence the rule in ``repro.bench`` and nowhere else —
+not in sibling packages, not in lookalike module names, not for other
+rules inside ``repro.bench`` itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lint.cli import main
+from repro.lint.engine import lint_source
+from repro.lint.waivers import WAIVERS, Waiver, find_waiver
+
+WALL_CLOCK_SOURCE = "import time\n\n\ndef stamp():\n    return time.perf_counter()\n"
+
+
+def _rules_found(source: str, path: str) -> list[str]:
+    return [finding.rule for finding in lint_source(source, path)]
+
+
+class TestScoping:
+    def test_bench_is_waived_for_wall_clock(self) -> None:
+        assert _rules_found(WALL_CLOCK_SOURCE, "src/repro/bench/harness.py") == []
+        assert _rules_found(WALL_CLOCK_SOURCE, "src/repro/bench/sub/deep.py") == []
+
+    def test_waiver_does_not_leak_to_other_packages(self) -> None:
+        for path in (
+            "src/repro/core/study.py",
+            "src/repro/analysis/revenue.py",
+            "src/repro/platform/actions.py",
+            "src/repro/util/timeutils.py",
+        ):
+            assert "DET003" in _rules_found(WALL_CLOCK_SOURCE, path), path
+
+    def test_waiver_does_not_cover_lookalike_modules(self) -> None:
+        # "repro.benchmarks" shares the prefix string but not the subtree
+        assert "DET003" in _rules_found(WALL_CLOCK_SOURCE, "src/repro/benchmarks/x.py")
+
+    def test_waiver_is_rule_specific(self) -> None:
+        # DET001 (stdlib random) is NOT waived for bench
+        source = "import random\n"
+        assert "DET001" in _rules_found(source, "src/repro/bench/harness.py")
+
+    def test_files_outside_the_package_are_never_waived(self) -> None:
+        assert "DET003" in _rules_found(WALL_CLOCK_SOURCE, "scripts/loose_script.py")
+
+
+class TestWaiverTable:
+    def test_standing_waivers_are_justified(self) -> None:
+        for waiver in WAIVERS:
+            assert waiver.rule
+            assert waiver.module_prefix.startswith("repro.")
+            assert len(waiver.reason) > 20  # a real sentence, not a stub
+
+    def test_covers_semantics(self) -> None:
+        waiver = Waiver(rule="DET003", module_prefix="repro.bench", reason="x" * 30)
+        assert waiver.covers("DET003", "repro.bench")
+        assert waiver.covers("DET003", "repro.bench.cli")
+        assert not waiver.covers("DET003", "repro.benchmark")
+        assert not waiver.covers("DET003", "repro.core.study")
+        assert not waiver.covers("DET001", "repro.bench")
+        assert not waiver.covers("DET003", None)
+
+    def test_find_waiver(self) -> None:
+        assert find_waiver("DET003", "repro.bench.scenarios") is not None
+        assert find_waiver("DET003", "repro.core.study") is None
+        assert find_waiver("DET001", "repro.bench.scenarios") is None
+        assert find_waiver("DET003", None) is None
+
+
+def test_cli_lists_waivers(capsys: pytest.CaptureFixture) -> None:
+    assert main(["--list-waivers"]) == 0
+    out = capsys.readouterr().out
+    assert "DET003" in out
+    assert "repro.bench" in out
