@@ -20,6 +20,7 @@ import numpy as np
 from repro.aas.ledger import Payment, PaymentLedger
 from repro.netsim.client import ClientEndpoint, DeviceFingerprint
 from repro.netsim.fabric import NetworkFabric
+from repro.obs import Counter
 from repro.platform.auth import Session
 from repro.platform.errors import (
     ActionBlockedError,
@@ -139,6 +140,12 @@ class AccountAutomationService(abc.ABC):
         self._endpoint_cursor = 0
         self._sessions: dict[AccountId, Session] = {}
         self.outcome_counts: dict[IssueOutcome, int] = {o: 0 for o in IssueOutcome}
+        # per-service emission telemetry, resolved once off the platform's
+        # obs handle so the per-action cost is a single counter bump
+        self._obs_outcomes: dict[IssueOutcome, Counter] = {
+            o: platform.obs.counter("aas.actions", service=descriptor.name, outcome=o.value)
+            for o in IssueOutcome
+        }
 
     # ------------------------------------------------------------------
     # Network identity
@@ -285,6 +292,7 @@ class AccountAutomationService(abc.ABC):
             except PlatformError:
                 outcome = IssueOutcome.FAILED
         self.outcome_counts[outcome] += 1
+        self._obs_outcomes[outcome].inc()
         return outcome
 
     # ------------------------------------------------------------------

@@ -18,6 +18,12 @@ Each scenario returns one schema-versioned payload
 (:mod:`repro.bench.schema`); the CLI writes it to
 ``BENCH_<SCENARIO>.json``. Smoke mode shrinks scales and repetitions to
 CI-friendly seconds while exercising every code path.
+
+Every payload embeds an ``observability`` key — the ``repro.obs``
+metrics snapshot of a representative timed study (the last fast-path
+study the scenario built) — so the timing numbers carry their
+explanatory context: index hit rates, sweep-tier counts, scheduler
+park/wake behavior.
 """
 
 from __future__ import annotations
@@ -46,6 +52,7 @@ def _envelope(
     settings: dict,
     results: list[dict],
     derived: dict | None = None,
+    observability: dict | None = None,
 ) -> dict:
     payload = {
         "schema_version": SCHEMA_VERSION,
@@ -56,6 +63,8 @@ def _envelope(
     }
     if derived is not None:
         payload["derived"] = derived
+    if observability is not None:
+        payload["observability"] = observability
     return payload
 
 
@@ -72,6 +81,7 @@ def bench_tick_loop(smoke: bool) -> dict:
     hours = 24 if smoke else 48
     warmup, repetitions = (0, 1) if smoke else (1, 3)
     results = []
+    built: dict[bool, Study] = {}
     for size in sizes:
         def make_case(fast: bool, size: int = size) -> Callable[[], object]:
             base = StudyConfig.tiny(seed=BENCH_SEED)
@@ -81,6 +91,7 @@ def bench_tick_loop(smoke: bool) -> dict:
                 population=replace(base.population, size=size),
             )
             study = Study(config)
+            built[fast] = study
             return lambda: study.run_hours(hours)
 
         cases = {
@@ -100,7 +111,10 @@ def bench_tick_loop(smoke: bool) -> dict:
         "population_sizes": list(sizes),
         "hours_per_run": hours,
     }
-    return _envelope("tick_loop", smoke, settings, results)
+    return _envelope(
+        "tick_loop", smoke, settings, results,
+        observability=built[True].obs.metrics.snapshot(),
+    )
 
 
 # ----------------------------------------------------------------------
@@ -167,7 +181,10 @@ def bench_sweep(smoke: bool) -> dict:
         "measurement_days": measurement_days,
         "window": [start_tick, end_tick],
     }
-    return _envelope("sweep", smoke, settings, results, derived)
+    return _envelope(
+        "sweep", smoke, settings, results, derived,
+        observability=study.obs.metrics.snapshot(),
+    )
 
 
 # ----------------------------------------------------------------------
@@ -179,11 +196,14 @@ def bench_run_standard(smoke: bool) -> dict:
     results = []
     mean_by_mode: dict[str, float] = {}
 
+    built: dict[bool, Study] = {}
+
     def make_case(fast: bool) -> Callable[[], object]:
         config = StudyConfig.tiny(seed=BENCH_SEED)
         if smoke:
             config = replace(config, honeypot_days=2, measurement_days=2)
         study = Study(replace(config, fast_path=fast))
+        built[fast] = study
         return lambda: study.run_standard()
 
     cases = {_mode_label(fast): (lambda fast=fast: make_case(fast)) for fast in (True, False)}
@@ -193,7 +213,10 @@ def bench_run_standard(smoke: bool) -> dict:
         results.append({"name": f"run-standard-{label}", "stats": stats.as_dict()})
     settings = {"seed": BENCH_SEED, "preset": "tiny"}
     derived = {"speedup_fast_vs_naive": mean_by_mode["naive"] / mean_by_mode["fast"]}
-    return _envelope("run_standard", smoke, settings, results, derived)
+    return _envelope(
+        "run_standard", smoke, settings, results, derived,
+        observability=built[True].obs.metrics.snapshot(),
+    )
 
 
 #: scenario name -> builder, in emission order

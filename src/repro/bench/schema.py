@@ -16,14 +16,22 @@ All scenario files share one envelope::
         },
         ...
       ],
-      "derived": { ...optional cross-case numbers (e.g. speedups) }
+      "derived": { ...optional cross-case numbers (e.g. speedups) },
+      "observability": { ...optional repro.obs metrics snapshot of a
+                         representative timed study — the explanatory
+                         context for the timings (index hit rates,
+                         sweep-tier counts, scheduler behavior) }
     }
 
 The validator is pure python (no jsonschema dependency) and is what CI's
-bench smoke job runs over the emitted files.
+bench smoke job runs over the emitted files. The ``observability`` key,
+when present, must be a valid :func:`repro.obs.schema.validate_snapshot`
+payload.
 """
 
 from __future__ import annotations
+
+from repro.obs.schema import validate_snapshot
 
 SCHEMA_VERSION = 1
 
@@ -65,6 +73,9 @@ def validate_payload(payload: object) -> list[str]:
     _check(isinstance(payload.get("settings"), dict), "settings must be an object", errors)
     if "derived" in payload:
         _check(isinstance(payload["derived"], dict), "derived must be an object", errors)
+    if "observability" in payload:
+        for error in validate_snapshot(payload["observability"]):
+            errors.append(f"observability: {error}")
 
     results = payload.get("results")
     if not _check(

@@ -13,6 +13,11 @@ Example::
     python -m repro run-study --preset tiny --seed 7
     python -m repro run-study --preset small --output report.txt
     python -m repro run-interventions --preset tiny
+
+Progress comes from the study's own ``repro.obs`` phase spans:
+``--verbose`` attaches a console reporter to them, and ``--trace PATH``
+dumps the full JSONL trace (spans + metrics snapshot) for
+``python -m repro.obs summarize``.
 """
 
 from __future__ import annotations
@@ -26,6 +31,8 @@ from repro.core import experiments as E
 from repro.core import reporting as R
 from repro.core.study import INSTA_STAR
 from repro.interventions.experiment import BroadInterventionPlan, NarrowInterventionPlan
+from repro.obs import ConsoleReporter, Observability
+from repro.obs.walltime import read_wall_seconds
 
 PRESETS: dict[str, Callable[[int], StudyConfig]] = {
     "tiny": StudyConfig.tiny,
@@ -46,6 +53,17 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--seed", type=int, default=42)
         sub.add_argument(
             "--output", type=str, default="", help="write the report to a file instead of stdout"
+        )
+        sub.add_argument(
+            "--verbose",
+            action="store_true",
+            help="print phase-span progress lines to stderr",
+        )
+        sub.add_argument(
+            "--trace",
+            type=str,
+            default="",
+            help="write a repro.obs JSONL trace (spans + metrics) to this path",
         )
 
     run_study = subparsers.add_parser("run-study", help="measurement pipeline + business tables")
@@ -76,16 +94,41 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _make_study(config: StudyConfig, args) -> Study:
+    """Build a Study with the CLI's observability wiring attached.
+
+    ``--verbose`` and ``--trace`` force telemetry on (they are explicit
+    requests for it); otherwise the config switch decides. Traces
+    written by the CLI carry wall-clock span durations — the waived,
+    non-canonical extra — since a human asked for them.
+    """
+    wants_obs = bool(getattr(args, "verbose", False) or getattr(args, "trace", ""))
+    obs = Observability(
+        enabled=config.observability or wants_obs,
+        wall_source=read_wall_seconds if getattr(args, "trace", "") else None,
+    )
+    if getattr(args, "verbose", False):
+        obs.add_listener(ConsoleReporter(sys.stderr))
+    return Study(config, obs=obs)
+
+
+def _write_trace(study: Study, args) -> None:
+    path = getattr(args, "trace", "")
+    if path:
+        study.obs.dump_trace(
+            path,
+            meta={"command": args.command, "preset": args.preset, "seed": args.seed},
+        )
+        print(f"Wrote trace to {path}", file=sys.stderr)
+
+
 def _run_measurement(args, out: TextIO) -> Study:
     config = PRESETS[args.preset](seed=args.seed)
     if getattr(args, "measurement_days", 0):
         config = config.with_measurement_days(args.measurement_days)
-    print(f"Building world (preset={args.preset}, seed={args.seed})...", file=sys.stderr)
-    study = Study(config)
-    print("Running honeypot phase...", file=sys.stderr)
+    study = _make_study(config, args)
     study.run_honeypot_phase()
     study.learn_signatures()
-    print(f"Running measurement window ({config.measurement_days} days)...", file=sys.stderr)
     dataset = study.run_measurement()
 
     sections = [
@@ -108,18 +151,17 @@ def _run_measurement(args, out: TextIO) -> Study:
 
 
 def cmd_run_study(args, out: TextIO) -> int:
-    _run_measurement(args, out)
+    study = _run_measurement(args, out)
+    _write_trace(study, args)
     return 0
 
 
 def cmd_run_interventions(args, out: TextIO) -> int:
     study = _run_measurement(args, out)
-    print("Running narrow intervention...", file=sys.stderr)
     narrow = study.run_narrow_intervention(
         NarrowInterventionPlan(duration_days=args.narrow_days), calibration_days=5
     )
     study.run_days(6)  # washout before the broad design
-    print("Running broad intervention...", file=sys.stderr)
     broad = study.run_broad_intervention(
         BroadInterventionPlan(delay_days=6, block_days=8), calibration_days=5
     )
@@ -129,6 +171,7 @@ def cmd_run_interventions(args, out: TextIO) -> int:
         R.render_fig7(E.fig7_broad_follows(broad, service=INSTA_STAR)),
     ]
     print("\n\n".join(sections), file=out)
+    _write_trace(study, args)
     return 0
 
 
@@ -137,12 +180,10 @@ def cmd_run_epilogue(args, out: TextIO) -> int:
 
     config = PRESETS[args.preset](seed=args.seed)
     config = dataclasses.replace(config, enable_migration=True)
-    print(f"Building world (preset={args.preset}, seed={args.seed})...", file=sys.stderr)
-    study = Study(config)
+    study = _make_study(config, args)
     study.run_honeypot_phase()
     study.learn_signatures()
     study.run_measurement(days_=min(7, config.measurement_days))
-    print(f"Running epilogue regime for {args.days} days...", file=sys.stderr)
     outcome = study.run_epilogue(
         days_=args.days,
         defender_relearn_days=args.relearn_days or None,
@@ -155,6 +196,7 @@ def cmd_run_epilogue(args, out: TextIO) -> int:
     lines.append(f"  signature coverage: {outcome.signature_coverage:.1%}")
     lines.append(f"  Hublaagram sales suspended: {outcome.hublaagram_sales_suspended}")
     print("\n".join(lines), file=out)
+    _write_trace(study, args)
     return 0
 
 

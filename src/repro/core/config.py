@@ -136,6 +136,11 @@ class StudyConfig:
     #: are bit-identical either way (test-enforced); False keeps the
     #: naive reference loops for equivalence testing and debugging.
     fast_path: bool = True
+    #: collect repro.obs telemetry (metrics + tick-pinned phase spans).
+    #: Telemetry is write-only — simulation results are bit-identical
+    #: either way (test-enforced); False skips instrument registration
+    #: entirely so hot paths touch shared no-op instruments.
+    observability: bool = True
     #: arm services with post-block migration (the Section 6.4 epilogue:
     #: ASN moves, and for the Insta* parent an extensive proxy network).
     #: Off by default — the tabled analyses predate the epilogue.

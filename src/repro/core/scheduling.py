@@ -21,8 +21,10 @@ study keeps identical to the naive loop's visit order.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
+
+from repro.obs import NULL_OBS, Observability
 
 #: return value of a ``next_wake_tick`` hook meaning "park me; I will be
 #: woken explicitly (or never)"
@@ -38,13 +40,22 @@ class _Agent:
     scheduled_at: Optional[int] = None
 
 
-@dataclass
 class TimingWheel:
     """Exact-tick buckets of agents, visited once per simulated hour."""
 
-    _agents: list[_Agent] = field(default_factory=list)
-    _by_name: dict[str, _Agent] = field(default_factory=dict)
-    _buckets: dict[int, list[_Agent]] = field(default_factory=dict)
+    def __init__(self, obs: Optional[Observability] = None):
+        self._agents: list[_Agent] = []
+        self._by_name: dict[str, _Agent] = {}
+        self._buckets: dict[int, list[_Agent]] = {}
+        _obs = obs if obs is not None else NULL_OBS
+        self._obs_agents = _obs.gauge("core.scheduler.agents")
+        self._obs_runs = _obs.counter("core.scheduler.agent_runs")
+        #: agents that parked themselves (next_wake returned NEVER) /
+        #: wake() requests pulling an agent's schedule earlier
+        self._obs_parks = _obs.counter("core.scheduler.parks")
+        self._obs_wakes = _obs.counter("core.scheduler.wakes")
+        self._obs_idle = _obs.counter("core.scheduler.idle_ticks")
+        self._obs_due = _obs.histogram("core.scheduler.due_agents")
 
     def add(
         self,
@@ -64,6 +75,7 @@ class TimingWheel:
         agent = _Agent(name=name, run=run, next_wake=next_wake, index=len(self._agents))
         self._agents.append(agent)
         self._by_name[name] = agent
+        self._obs_agents.set(len(self._agents))
         self._schedule(agent, first_tick)
 
     def _schedule(self, agent: _Agent, tick: int) -> None:
@@ -73,6 +85,7 @@ class TimingWheel:
     def wake(self, name: str, tick: int) -> None:
         """Pull an agent's wake earlier (or unpark it) — e.g. after an
         external event creates work for a parked agent."""
+        self._obs_wakes.inc()
         agent = self._by_name[name]
         if agent.scheduled_at is not None and agent.scheduled_at <= tick:
             return
@@ -89,14 +102,19 @@ class TimingWheel:
         how many ran. Must be called for consecutive ticks."""
         due = self._buckets.pop(now, None)
         if not due:
+            self._obs_idle.inc()
             return 0
+        self._obs_due.observe(len(due))
         due.sort(key=lambda agent: agent.index)
         for agent in due:
             agent.scheduled_at = None
+            self._obs_runs.inc()
             agent.run()
             if agent.scheduled_at is not None:
                 continue  # the run itself woke the agent (re-entrant wake)
             wake = now + 1 if agent.next_wake is None else agent.next_wake(now)
             if wake is not NEVER:
                 self._schedule(agent, max(wake, now + 1))
+            else:
+                self._obs_parks.inc()
         return len(due)

@@ -37,6 +37,7 @@ from repro.interventions.thresholds import CountSubject, ThresholdTable
 from repro.netsim.asn import ASNRegistry
 from repro.netsim.fabric import NetworkFabric
 from repro.netsim.geo import GeoIP
+from repro.obs import Observability
 from repro.platform.clock import SimClock
 from repro.platform.errors import PlatformError
 from repro.platform.instagram import InstagramPlatform
@@ -95,31 +96,39 @@ class InterventionOutcome:
 class Study:
     """Builds the world and runs the paper's pipeline phases in order."""
 
-    def __init__(self, config: StudyConfig):
+    def __init__(self, config: StudyConfig, obs: Observability | None = None):
         self.config = config
+        #: telemetry handle; callers may pass a pre-built one (the CLI
+        #: does, to attach reporters/wall-clock timing before the world
+        #: is built) — otherwise one is created per the config switch
+        self.obs = obs if obs is not None else Observability(enabled=config.observability)
         self.seeds = SeedSequenceFactory(config.seed)
         self.clock = SimClock()
-        self.platform = InstagramPlatform(self.clock)
-        self.registry = ASNRegistry()
-        self.fabric = NetworkFabric(self.registry, self.seeds.get("fabric"))
-        self.geoip = GeoIP(self.registry)
-        self.population = OrganicPopulation.generate(
-            self.platform, self.fabric, self.seeds.get("population"), config.population
-        )
-        self._build_services()
-        self._assign_vpn_users()
-        self._build_behaviour()
-        self._seed_clientele()
-        self.honeypots = HoneypotFramework(self.platform, self.fabric, self.seeds.get("honeypots"))
-        self.reciprocation = ReciprocationExperiment(
-            self.honeypots, self.seeds.get("hp-experiment"), self._high_profile_pool()
-        )
-        self._collusion_honeypots: list[tuple[CollusionNetworkService, HoneypotAccount]] = []
-        self.classifier: AASClassifier | None = None
-        self.reciprocation_results: list[ReciprocationResult] = []
-        self.measurement_start: int | None = None
-        self.measurement_end: int | None = None
-        self._wheel = self._build_wheel() if config.fast_path else None
+        self.obs.bind_tick_source(lambda: self.clock.now)
+        with self.obs.span("build-world", seed=config.seed, population=config.population.size):
+            self.platform = InstagramPlatform(self.clock, obs=self.obs)
+            self.registry = ASNRegistry()
+            self.fabric = NetworkFabric(self.registry, self.seeds.get("fabric"))
+            self.geoip = GeoIP(self.registry)
+            self.population = OrganicPopulation.generate(
+                self.platform, self.fabric, self.seeds.get("population"), config.population
+            )
+            self._build_services()
+            self._assign_vpn_users()
+            self._build_behaviour()
+            self._seed_clientele()
+            self.honeypots = HoneypotFramework(
+                self.platform, self.fabric, self.seeds.get("honeypots")
+            )
+            self.reciprocation = ReciprocationExperiment(
+                self.honeypots, self.seeds.get("hp-experiment"), self._high_profile_pool()
+            )
+            self._collusion_honeypots: list[tuple[CollusionNetworkService, HoneypotAccount]] = []
+            self.classifier: AASClassifier | None = None
+            self.reciprocation_results: list[ReciprocationResult] = []
+            self.measurement_start: int | None = None
+            self.measurement_end: int | None = None
+            self._wheel = self._build_wheel() if config.fast_path else None
 
     # ------------------------------------------------------------------
     # World construction
@@ -314,7 +323,7 @@ class Study:
         fast path runs agents in exactly the order :meth:`tick`'s
         reference loop would — a prerequisite for bit-identical results.
         """
-        wheel = TimingWheel()
+        wheel = TimingWheel(obs=self.obs)
         for name, driver in self.clientele.items():
             wheel.add(f"clientele:{name}", driver.tick, driver.next_wake_tick)
         wheel.add(
@@ -432,9 +441,11 @@ class Study:
 
     def run_honeypot_phase(self) -> list[ReciprocationResult]:
         """Register honeypots, run the phase, measure reciprocation."""
-        self.register_honeypots()
-        self.run_days(self.config.honeypot_days)
-        self.reciprocation_results = self.reciprocation.results()
+        with self.obs.span("honeypot-phase", days=self.config.honeypot_days):
+            with self.obs.span("register-honeypots"):
+                self.register_honeypots()
+            self.run_days(self.config.honeypot_days)
+            self.reciprocation_results = self.reciprocation.results()
         return self.reciprocation_results
 
     # ------------------------------------------------------------------
@@ -443,6 +454,10 @@ class Study:
 
     def learn_signatures(self) -> AASClassifier:
         """Build the classifier from honeypot ground truth."""
+        with self.obs.span("learn-signatures"):
+            return self._learn_signatures()
+
+    def _learn_signatures(self) -> AASClassifier:
         signatures: list[ServiceSignature] = []
         insta_records = []
         for registration in self.reciprocation.registrations():
@@ -473,7 +488,7 @@ class Study:
                 signatures = _accumulate(
                     signatures, service_name, ServiceType.COLLUSION_NETWORK, records
                 )
-        self._set_classifier(AASClassifier(signatures))
+        self._set_classifier(AASClassifier(signatures, obs=self.obs))
         assert self.classifier is not None
         return self.classifier
 
@@ -510,6 +525,11 @@ class Study:
         """
         if self.classifier is None:
             raise RuntimeError("learn_signatures() must run first")
+        with self.obs.span("stability-probe", probe_days=probe_days):
+            return self._verify_signal_stability(probe_days)
+
+    def _verify_signal_stability(self, probe_days: int) -> dict[str, bool]:
+        assert self.classifier is not None
         probes: list[tuple[str, HoneypotAccount]] = []
         for name, service in self.services.items():
             label = INSTA_STAR if name in ("Instalex", "Instazood") else name
@@ -552,15 +572,17 @@ class Study:
         if self.classifier is None:
             raise RuntimeError("learn_signatures() must run before the measurement window")
         window = days_ if days_ is not None else self.config.measurement_days
-        self.measurement_start = self.clock.now
-        self.run_days(window)
-        self.measurement_end = self.clock.now
-        return self.build_dataset(self.measurement_start, self.measurement_end)
+        with self.obs.span("measurement-window", days=window):
+            self.measurement_start = self.clock.now
+            self.run_days(window)
+            self.measurement_end = self.clock.now
+            return self.build_dataset(self.measurement_start, self.measurement_end)
 
     def build_dataset(self, start_tick: int, end_tick: int) -> MeasurementDataset:
         """Sweep + analytics over an arbitrary window."""
         assert self.classifier is not None
-        attributed = self.classifier.sweep(self.platform.log, start_tick, end_tick)
+        with self.obs.span("sweep", start_tick=start_tick, end_tick=end_tick):
+            attributed = self.classifier.sweep(self.platform.log, start_tick, end_tick)
         analytics: dict[str, CustomerBaseAnalytics] = {}
         for name, activity in attributed.items():
             if name == "Followersgratis":
@@ -611,16 +633,19 @@ class Study:
     ) -> InterventionOutcome:
         if self.classifier is None:
             raise RuntimeError("learn_signatures() must run before interventions")
-        controller = InterventionController(self.platform, self.classifier)
-        calibration_start = max(0, self.clock.now - days(calibration_days))
-        controller.calibrate(calibration_start, self.clock.now, self._subject_by_asn())
-        policy = start(controller)
-        start_tick = self.clock.now
-        self.run_days(duration_days)
-        end_tick = self.clock.now
-        controller.stop()
-        attributed = self.classifier.sweep(self.platform.log, start_tick, end_tick)
-        assert controller.thresholds is not None
+        with self.obs.span("intervention", plan=name, days=duration_days):
+            controller = InterventionController(self.platform, self.classifier)
+            calibration_start = max(0, self.clock.now - days(calibration_days))
+            with self.obs.span("calibrate", days=calibration_days):
+                controller.calibrate(calibration_start, self.clock.now, self._subject_by_asn())
+            policy = start(controller)
+            start_tick = self.clock.now
+            self.run_days(duration_days)
+            end_tick = self.clock.now
+            controller.stop()
+            with self.obs.span("sweep", start_tick=start_tick, end_tick=end_tick):
+                attributed = self.classifier.sweep(self.platform.log, start_tick, end_tick)
+            assert controller.thresholds is not None
         return InterventionOutcome(
             name=name,
             start_day=start_tick // 24,
@@ -665,6 +690,11 @@ class Study:
         directly is equivalent and avoids paying for probes every cycle.
         """
         assert self.classifier is not None
+        with self.obs.span("relearn-signatures"):
+            self._relearn_signatures()
+
+    def _relearn_signatures(self) -> None:
+        assert self.classifier is not None
         merged: dict[str, ServiceSignature] = {s.service: s for s in self.classifier.signatures}
         for name, service in self.services.items():
             label = INSTA_STAR if name in ("Instalex", "Instazood") else name
@@ -678,7 +708,7 @@ class Study:
                 client_variants=existing.client_variants
                 | frozenset({service.fingerprint.variant}),
             )
-        self._set_classifier(AASClassifier(list(merged.values())))
+        self._set_classifier(AASClassifier(list(merged.values()), obs=self.obs))
 
     def run_epilogue(
         self,
@@ -718,25 +748,26 @@ class Study:
         self.platform.countermeasures.add_policy(policy)
         asns_before = {name: set(s.current_asns()) for name, s in self.services.items()}
         start_tick = self.clock.now
-        if defender_relearn_days is None:
-            self.run_days(days_)
-        else:
-            # the defender keeps probing with fresh trial honeypots and
-            # folds newly-observed exit infrastructure back into the
-            # signatures and threshold table (Section 5's periodic
-            # re-registration, continued through the epilogue)
-            remaining = days_
-            while remaining > 0:
-                segment = min(defender_relearn_days, remaining)
-                self.run_days(segment)
-                remaining -= segment
-                if remaining > 0:
-                    self._relearn_from_current_infrastructure()
-                    policy.thresholds = controller.calibrate(
-                        max(0, self.clock.now - days(calibration_days)),
-                        self.clock.now,
-                        self._subject_by_asn(),
-                    )
+        with self.obs.span("epilogue", days=days_):
+            if defender_relearn_days is None:
+                self.run_days(days_)
+            else:
+                # the defender keeps probing with fresh trial honeypots and
+                # folds newly-observed exit infrastructure back into the
+                # signatures and threshold table (Section 5's periodic
+                # re-registration, continued through the epilogue)
+                remaining = days_
+                while remaining > 0:
+                    segment = min(defender_relearn_days, remaining)
+                    self.run_days(segment)
+                    remaining -= segment
+                    if remaining > 0:
+                        self._relearn_from_current_infrastructure()
+                        policy.thresholds = controller.calibrate(
+                            max(0, self.clock.now - days(calibration_days)),
+                            self.clock.now,
+                            self._subject_by_asn(),
+                        )
         self.platform.countermeasures.remove_policy(policy)
         migrations = {
             name: list(service.migration.migrations)

@@ -37,6 +37,7 @@ from typing import Iterable, Optional
 
 from repro.aas.base import ServiceType
 from repro.detection.signals import ServiceSignature
+from repro.obs import NULL_OBS, Observability
 from repro.platform.actions import ActionLog
 from repro.platform.models import AccountId, ActionRecord, ActionStatus
 
@@ -93,11 +94,21 @@ class AASClassifier:
     classifier, as :meth:`repro.core.study.Study.learn_signatures` does.
     """
 
-    def __init__(self, signatures: Iterable[ServiceSignature]):
+    def __init__(
+        self, signatures: Iterable[ServiceSignature], obs: Optional[Observability] = None
+    ):
         self.signatures = list(signatures)
         names = [s.service for s in self.signatures]
         if len(names) != len(set(names)):
             raise ValueError("duplicate service signatures")
+        _obs = obs if obs is not None else NULL_OBS
+        _obs.gauge("detection.classifier.signatures").set(len(self.signatures))
+        self._obs_memo_hit = _obs.counter("detection.classifier.memo", result="hit")
+        self._obs_memo_miss = _obs.counter("detection.classifier.memo", result="miss")
+        self._obs_sweep_tier = {
+            tier: _obs.counter("detection.classifier.sweeps", tier=tier)
+            for tier in ("streamed", "bucketed", "brute")
+        }
         #: (asn, variant) -> service-or-None; matching depends only on the
         #: endpoint, so distinct endpoints bound the matching work
         self._match_memo: dict[tuple[int, str], Optional[str]] = {}
@@ -114,10 +125,14 @@ class AASClassifier:
         """Service name for one record, or None if it looks benign."""
         key = (record.endpoint.asn, record.endpoint.fingerprint.variant)
         try:
-            return self._match_memo[key]
+            service = self._match_memo[key]
         except KeyError:
             pass
-        service: Optional[str] = None
+        else:
+            self._obs_memo_hit.inc()
+            return service
+        self._obs_memo_miss.inc()
+        service = None
         for signature in self.signatures:
             if signature.matches(record):
                 service = signature.service
@@ -173,6 +188,7 @@ class AASClassifier:
         memo = self._match_memo
         if key in memo:
             service = memo[key]
+            self._obs_memo_hit.inc()
         else:
             service = self.attribute(record)
         if service is None:
@@ -204,9 +220,12 @@ class AASClassifier:
         attempts and the intervention analyses need them.
         """
         if self._streaming_for(records):
+            self._obs_sweep_tier["streamed"].inc()
             return self._sweep_streamed(start_tick, end_tick, include_blocked)
         if isinstance(records, ActionLog) and records.ticks_monotonic:
+            self._obs_sweep_tier["bucketed"].inc()
             return self._sweep_bucketed(records, start_tick, end_tick, include_blocked)
+        self._obs_sweep_tier["brute"].inc()
         out = {
             s.service: AttributedActivity(service=s.service, service_type=s.service_type)
             for s in self.signatures

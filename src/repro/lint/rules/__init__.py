@@ -1,7 +1,8 @@
 """Rule registry.
 
 Rules register by being listed in their family module's tuple; the
-registry concatenates the families in report order (DET, ARCH, API).
+registry concatenates the families in report order (DET, ARCH, API,
+OBS).
 ``--select`` on the CLI and the ``rules=`` argument of the engine accept
 any subset of these ids.
 """
@@ -12,8 +13,9 @@ from repro.lint.rules.api import API_RULES
 from repro.lint.rules.arch import ARCH_RULES
 from repro.lint.rules.base import ModuleContext, Rule, dotted_name
 from repro.lint.rules.det import DET_RULES
+from repro.lint.rules.obs import OBS_RULES
 
-_ALL_RULE_CLASSES: tuple[type[Rule], ...] = DET_RULES + ARCH_RULES + API_RULES
+_ALL_RULE_CLASSES: tuple[type[Rule], ...] = DET_RULES + ARCH_RULES + API_RULES + OBS_RULES
 
 
 def all_rules() -> list[Rule]:

@@ -23,15 +23,16 @@ LAYER_RANK: dict[str, int] = {
     "util": 0,
     "netsim": 0,
     "lint": 0,
-    "platform": 1,
-    "behavior": 2,
-    "aas": 3,
-    "honeypot": 4,
-    "detection": 4,
-    "analysis": 5,
-    "interventions": 5,
-    "core": 6,
-    "bench": 7,
+    "obs": 1,
+    "platform": 2,
+    "behavior": 3,
+    "aas": 4,
+    "honeypot": 5,
+    "detection": 5,
+    "analysis": 6,
+    "interventions": 6,
+    "core": 7,
+    "bench": 8,
 }
 
 #: rank assigned to anything not in the table (top-level modules such as
@@ -64,7 +65,7 @@ class LayeringRule(Rule):
     rule_id: ClassVar[str] = "ARCH001"
     summary: ClassVar[str] = (
         "cross-layer imports must point strictly downward (util/netsim -> "
-        "platform -> behavior -> aas -> honeypot|detection -> "
+        "obs -> platform -> behavior -> aas -> honeypot|detection -> "
         "analysis|interventions -> core); the substrate never sees its observers"
     )
 

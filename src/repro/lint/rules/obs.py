@@ -1,0 +1,59 @@
+"""OBS rules: telemetry flows through ``repro.obs``, not stdout.
+
+A bare ``print()`` inside the library is invisible to the trace sink,
+unlabeled, and impossible to switch off; the observability layer
+(DESIGN.md "Observability architecture") exists so every progress or
+diagnostic signal is a span or a metric that lands in the JSONL trace.
+Only the user-facing entry points — the CLIs and the obs console
+reporter itself — are in the business of writing to a terminal.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import ClassVar, Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.rules.base import ModuleContext, Rule
+
+#: the sanctioned terminal writers: command-line front ends plus the
+#: obs console reporter (which exists to render spans for --verbose)
+_CONSOLE_OWNERS = (
+    "repro/cli.py",
+    "repro/bench/cli.py",
+    "repro/lint/cli.py",
+    "repro/obs/cli.py",
+    "repro/obs/report.py",
+)
+
+
+class DirectPrintRule(Rule):
+    """OBS001 — library code must not print; emit spans/metrics instead."""
+
+    rule_id: ClassVar[str] = "OBS001"
+    summary: ClassVar[str] = (
+        "direct print() bypasses repro.obs telemetry (untraceable, "
+        "unlabeled, can't be disabled); emit a span or metric, or print "
+        "only from a CLI entry point"
+    )
+    exempt_suffixes: ClassVar[tuple[str, ...]] = _CONSOLE_OWNERS
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if ctx.module is None:
+            return
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "direct `print()` in library code; route progress through "
+                    "a repro.obs span/metric (CLIs and obs reporters are the "
+                    "only sanctioned terminal writers)",
+                )
+
+
+OBS_RULES: tuple[type[Rule], ...] = (DirectPrintRule,)

@@ -49,6 +49,15 @@ WAIVERS: tuple[Waiver, ...] = (
             "reporting outputs and never feed back into simulation state"
         ),
     ),
+    Waiver(
+        rule="DET003",
+        module_prefix="repro.obs.walltime",
+        reason=(
+            "optional wall-clock span durations live behind this one "
+            "module; they are write-only trace annotations, stripped by "
+            "canonical_lines() before any determinism comparison"
+        ),
+    ),
 )
 
 

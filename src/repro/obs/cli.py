@@ -1,0 +1,239 @@
+"""``python -m repro.obs`` — summarize, diff, and validate JSONL traces.
+
+Subcommands:
+
+* ``summarize TRACE`` — top spans by total tick-span, counter/gauge
+  tables, histogram percentile rows.
+* ``diff OLD NEW`` — compare the instrument coverage and span names of
+  two traces; exits 1 when NEW *lost* coverage (a span name or metric
+  series present in OLD is gone), the regression CI should catch.
+* ``validate TRACE [TRACE ...]`` — schema-check traces; exits 1 on any
+  failure.
+
+Exit codes: 0 success, 1 validation failure or coverage regression,
+2 usage error. Mirrors the ``repro.bench`` CLI conventions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.metrics import format_metric
+from repro.obs.schema import validate_trace
+from repro.obs.trace import read_trace_lines
+
+_SeriesKey = Tuple[str, Tuple[Tuple[str, str], ...], str]
+
+
+def _load(path: str) -> List[object]:
+    lines = read_trace_lines(path)
+    errors = validate_trace(lines)
+    if errors:
+        raise ValueError("\n".join(f"{path}: {error}" for error in errors))
+    return lines
+
+
+def _span_lines(lines: Sequence[object]) -> List[Dict[str, object]]:
+    return [
+        line
+        for line in lines
+        if isinstance(line, dict) and line.get("kind") == "span"
+    ]
+
+
+def _metric_entries(lines: Sequence[object]) -> List[Dict[str, object]]:
+    tail = lines[-1]
+    assert isinstance(tail, dict)
+    snapshot = tail["snapshot"]
+    assert isinstance(snapshot, dict)
+    metrics = snapshot["metrics"]
+    assert isinstance(metrics, list)
+    return [entry for entry in metrics if isinstance(entry, dict)]
+
+
+def _series_key(entry: Dict[str, object]) -> _SeriesKey:
+    labels = entry.get("labels")
+    label_items = tuple(sorted(labels.items())) if isinstance(labels, dict) else ()
+    return (str(entry.get("name")), label_items, str(entry.get("type")))
+
+
+def _entry_display(entry: Dict[str, object]) -> str:
+    labels = entry.get("labels")
+    return format_metric(str(entry.get("name")), labels if isinstance(labels, dict) else {})
+
+
+def _fmt_number(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def cmd_summarize(args: argparse.Namespace) -> int:
+    lines = _load(args.trace)
+    spans = _span_lines(lines)
+    entries = _metric_entries(lines)
+
+    sections: List[str] = [f"Trace: {args.trace}  ({len(spans)} spans)"]
+
+    by_name: Dict[str, List[int]] = defaultdict(list)
+    for span in spans:
+        start, end = span.get("start_tick"), span.get("end_tick")
+        assert isinstance(start, int) and isinstance(end, int)
+        by_name[str(span.get("name"))].append(end - start)
+    ranked = sorted(
+        by_name.items(), key=lambda item: (-sum(item[1]), item[0])
+    )[: args.top]
+    if ranked:
+        rows = ["Top spans by total tick-span:"]
+        width = max(len(name) for name, _ in ranked)
+        for name, tick_spans in ranked:
+            rows.append(
+                f"  {name:<{width}}  count={len(tick_spans)}"
+                f"  ticks={sum(tick_spans)}  max={max(tick_spans)}"
+            )
+        sections.append("\n".join(rows))
+
+    for kind, title in (("counter", "Counters:"), ("gauge", "Gauges:")):
+        rows = [
+            (_entry_display(entry), entry.get("value"))
+            for entry in entries
+            if entry.get("type") == kind
+        ]
+        if rows:
+            width = max(len(display) for display, _ in rows)
+            body = [title] + [
+                f"  {display:<{width}}  {_fmt_number(value)}" for display, value in rows
+            ]
+            sections.append("\n".join(body))
+
+    histogram_rows: List[str] = []
+    for entry in entries:
+        if entry.get("type") != "histogram":
+            continue
+        percentiles = entry.get("percentiles")
+        if isinstance(percentiles, dict):
+            stats = "  ".join(
+                f"{key}={_fmt_number(value)}" for key, value in sorted(percentiles.items())
+            )
+            stats += f"  min={_fmt_number(entry.get('min'))}  max={_fmt_number(entry.get('max'))}"
+        else:
+            stats = "(empty)"
+        histogram_rows.append(
+            f"  {_entry_display(entry)}  count={entry.get('count')}  {stats}"
+        )
+    if histogram_rows:
+        sections.append("\n".join(["Histograms:"] + histogram_rows))
+
+    print("\n\n".join(sections))
+    return 0
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    old_lines, new_lines = _load(args.old), _load(args.new)
+    old_metrics = {_series_key(entry): entry for entry in _metric_entries(old_lines)}
+    new_metrics = {_series_key(entry): entry for entry in _metric_entries(new_lines)}
+    old_spans = {str(span.get("name")) for span in _span_lines(old_lines)}
+    new_spans = {str(span.get("name")) for span in _span_lines(new_lines)}
+
+    removed_spans = sorted(old_spans - new_spans)
+    added_spans = sorted(new_spans - old_spans)
+    removed_metrics = sorted(set(old_metrics) - set(new_metrics))
+    added_metrics = sorted(set(new_metrics) - set(old_metrics))
+
+    for name in removed_spans:
+        print(f"- span {name}")
+    for name in added_spans:
+        print(f"+ span {name}")
+    for key in removed_metrics:
+        print(f"- metric {_entry_display(old_metrics[key])}")
+    for key in added_metrics:
+        print(f"+ metric {_entry_display(new_metrics[key])}")
+
+    changed = 0
+    for key in sorted(set(old_metrics) & set(new_metrics)):
+        old_entry, new_entry = old_metrics[key], new_metrics[key]
+        if key[2] == "histogram":
+            old_value, new_value = old_entry.get("count"), new_entry.get("count")
+            what = "count"
+        else:
+            old_value, new_value = old_entry.get("value"), new_entry.get("value")
+            what = "value"
+        if old_value != new_value:
+            changed += 1
+            print(
+                f"~ metric {_entry_display(new_entry)} "
+                f"{what} {_fmt_number(old_value)} -> {_fmt_number(new_value)}"
+            )
+
+    if not (removed_spans or added_spans or removed_metrics or added_metrics or changed):
+        print("traces are equivalent (identical coverage and values)")
+    if removed_spans or removed_metrics:
+        print(
+            f"coverage regression: {len(removed_spans)} span name(s) and "
+            f"{len(removed_metrics)} metric series lost"
+        )
+        return 1
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    failures = 0
+    for path in args.traces:
+        try:
+            lines = read_trace_lines(path)
+        except (OSError, ValueError) as exc:
+            print(f"{path}: {exc}")
+            failures += 1
+            continue
+        errors = validate_trace(lines)
+        if errors:
+            failures += 1
+            for error in errors:
+                print(f"{path}: {error}")
+        else:
+            print(f"{path}: ok ({len(_span_lines(lines))} spans)")
+    return 1 if failures else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Summarize, diff, and validate repro.obs JSONL traces.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    summarize = sub.add_parser("summarize", help="report top spans, counters, histograms")
+    summarize.add_argument("trace", help="path to a JSONL trace")
+    summarize.add_argument("--top", type=int, default=20, help="span rows to show (default 20)")
+
+    diff = sub.add_parser("diff", help="compare coverage/values of two traces")
+    diff.add_argument("old", help="baseline trace")
+    diff.add_argument("new", help="candidate trace")
+
+    validate = sub.add_parser("validate", help="schema-check one or more traces")
+    validate.add_argument("traces", nargs="+", help="paths to JSONL traces")
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {"summarize": cmd_summarize, "diff": cmd_diff, "validate": cmd_validate}
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:
+        # the reader (e.g. `summarize ... | head`) went away mid-write;
+        # point stdout at devnull so the interpreter's exit flush is quiet
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 1
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}")
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,26 @@
+"""The only obs module allowed to read the host clock.
+
+Everything else in ``repro.obs`` is a pure function of simulation
+state; wall-clock span durations are an explicit, opt-in extra for
+humans profiling a run. Reading the host clock violates DET003
+(``repro.lint``), so this module carries the standing module-scoped
+waiver for ``repro.obs.walltime`` (see ``repro/lint/waivers.py``) —
+the same mechanism ``repro.bench`` uses for its timers.
+
+Containment rules, mirrored by the waiver's reason string:
+
+* nothing here feeds back into simulation state — callers only ever
+  attach the readings to closed span records;
+* the resulting ``wall_s`` fields are stripped by
+  :func:`repro.obs.trace.canonical_lines`, so canonical traces remain
+  bit-identical across hosts and runs.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def read_wall_seconds() -> float:
+    """Monotonic host seconds; only meaningful as a difference."""
+    return time.perf_counter()

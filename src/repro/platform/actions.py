@@ -23,6 +23,7 @@ from collections import defaultdict
 from typing import Callable, Iterable, Iterator, Optional
 
 from repro.netsim.client import ClientEndpoint
+from repro.obs import NULL_OBS, Observability
 from repro.platform.models import AccountId, ActionRecord, ActionStatus, ActionType
 
 #: a signature-bucket key: (ASN, action type, client fingerprint variant)
@@ -41,7 +42,13 @@ def _window(
 class ActionLog:
     """Append-only action store with tick/actor/target/signature indices."""
 
-    def __init__(self):
+    def __init__(self, obs: Observability | None = None):
+        _obs = obs if obs is not None else NULL_OBS
+        self._obs_appends = _obs.counter("platform.actionlog.appends")
+        #: window queries answered by the bisect indices vs. ones that fell
+        #: back to a linear scan (out-of-order log) — the index hit rate
+        self._obs_query_index = _obs.counter("platform.actionlog.window_query", path="index")
+        self._obs_query_scan = _obs.counter("platform.actionlog.window_query", path="scan")
         self._records: list[ActionRecord] = []
         #: parallel array of record ticks (non-decreasing on the platform
         #: append path); window queries bisect it
@@ -80,6 +87,7 @@ class ActionLog:
         key = (record.endpoint.asn, record.action_type, record.endpoint.fingerprint.variant)
         self._by_signature[key].append(record.action_id)
         self._by_signature_ticks[key].append(record.tick)
+        self._obs_appends.inc()
         for observer in self._observers:
             observer(record)
 
@@ -131,6 +139,7 @@ class ActionLog:
         """
         if not self._monotonic:
             raise ValueError("tick offsets undefined: log was appended out of tick order")
+        self._obs_query_index.inc()
         return _window(self._ticks, start_tick, end_tick)
 
     def records_between(
@@ -138,6 +147,7 @@ class ActionLog:
     ) -> list[ActionRecord]:
         """All records in ``[start_tick, end_tick)``, in log order."""
         if self._monotonic:
+            self._obs_query_index.inc()
             lo, hi = _window(self._ticks, start_tick, end_tick)
             return self._records[lo:hi]
         return self.select(start_tick=start_tick, end_tick=end_tick)
@@ -150,6 +160,7 @@ class ActionLog:
         start_tick: Optional[int],
         end_tick: Optional[int],
     ) -> list[ActionRecord]:
+        (self._obs_query_index if self._monotonic else self._obs_query_scan).inc()
         indices = ids.get(key)
         if not indices:
             return []
@@ -213,6 +224,7 @@ class ActionLog:
         With ``action_type=None`` the per-type buckets are merged back
         into log order.
         """
+        (self._obs_query_index if self._monotonic else self._obs_query_scan).inc()
         if action_type is not None:
             keys = [(asn, action_type, variant)]
         else:
@@ -284,9 +296,12 @@ class ActionLog:
         """Filter the full log. ``end_tick`` is exclusive."""
         records: Iterable[ActionRecord] = self._records
         if self._monotonic and (start_tick is not None or end_tick is not None):
+            self._obs_query_index.inc()
             lo, hi = _window(self._ticks, start_tick, end_tick)
             records = self._records[lo:hi]
             start_tick = end_tick = None
+        elif start_tick is not None or end_tick is not None:
+            self._obs_query_scan.inc()
         out = []
         for record in records:
             if action_type is not None and record.action_type is not action_type:

@@ -89,7 +89,10 @@ class PublicGraphAPI(_BaseAPI):
 
     def __init__(self, platform: InstagramPlatform, limit_per_hour: Optional[int] = None):
         limit = limit_per_hour if limit_per_hour is not None else PUBLIC_API_LIMIT_PER_HOUR
-        super().__init__(platform, SlidingWindowLimiter(limit, hours(1)))
+        super().__init__(
+            platform,
+            SlidingWindowLimiter(limit, hours(1), obs=platform.obs, name=self.surface.value),
+        )
 
 
 class PrivateMobileAPI(_BaseAPI):
@@ -99,4 +102,7 @@ class PrivateMobileAPI(_BaseAPI):
 
     def __init__(self, platform: InstagramPlatform, ceiling_per_hour: Optional[int] = None):
         ceiling = ceiling_per_hour if ceiling_per_hour is not None else PRIVATE_API_CEILING_PER_HOUR
-        super().__init__(platform, SlidingWindowLimiter(ceiling, hours(1)))
+        super().__init__(
+            platform,
+            SlidingWindowLimiter(ceiling, hours(1), obs=platform.obs, name=self.surface.value),
+        )

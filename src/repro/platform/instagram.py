@@ -13,6 +13,7 @@ import itertools
 from typing import Optional
 
 from repro.netsim.client import ClientEndpoint
+from repro.obs import NULL_OBS, Observability
 from repro.platform.actions import ActionLog
 from repro.platform.auth import AuthService, Session
 from repro.platform.clock import SimClock
@@ -46,12 +47,20 @@ from repro.util.timeutils import days
 class InstagramPlatform:
     """The simulated social network."""
 
-    def __init__(self, clock: Optional[SimClock] = None, removal_delay_ticks: int = days(1)):
+    def __init__(
+        self,
+        clock: Optional[SimClock] = None,
+        removal_delay_ticks: int = days(1),
+        obs: Optional[Observability] = None,
+    ):
         self.clock = clock if clock is not None else SimClock()
+        #: telemetry handle; platform-adjacent layers (action log, API
+        #: limiters, AAS emission counters) pick their instruments off it
+        self.obs = obs if obs is not None else NULL_OBS
         self.auth = AuthService()
         self.graph = FollowerGraph()
         self.media = MediaStore()
-        self.log = ActionLog()
+        self.log = ActionLog(obs=self.obs)
         self.notifications = NotificationCenter()
         self.countermeasures = CountermeasureEngine(self.clock, removal_delay_ticks)
         self._accounts: dict[AccountId, Account] = {}

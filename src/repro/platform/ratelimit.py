@@ -12,11 +12,19 @@ from __future__ import annotations
 from collections import defaultdict, deque
 from typing import Deque, Hashable
 
+from repro.obs import NULL_OBS, Observability
+
 
 class SlidingWindowLimiter:
     """Allows at most ``limit`` events per ``window_ticks`` per key."""
 
-    def __init__(self, limit: int, window_ticks: int):
+    def __init__(
+        self,
+        limit: int,
+        window_ticks: int,
+        obs: Observability | None = None,
+        name: str = "default",
+    ):
         if limit <= 0:
             raise ValueError("limit must be positive")
         if window_ticks <= 0:
@@ -24,6 +32,13 @@ class SlidingWindowLimiter:
         self.limit = limit
         self.window_ticks = window_ticks
         self._events: dict[Hashable, Deque[int]] = defaultdict(deque)
+        _obs = obs if obs is not None else NULL_OBS
+        self._obs_allowed = _obs.counter(
+            "platform.ratelimit.decisions", limiter=name, outcome="allowed"
+        )
+        self._obs_rejected = _obs.counter(
+            "platform.ratelimit.decisions", limiter=name, outcome="rejected"
+        )
 
     def _evict(self, key: Hashable, now: int) -> None:
         events = self._events[key]
@@ -39,8 +54,10 @@ class SlidingWindowLimiter:
         self._evict(key, now)
         events = self._events[key]
         if len(events) >= self.limit:
+            self._obs_rejected.inc()
             return False
         events.append(now)
+        self._obs_allowed.inc()
         return True
 
     def remaining(self, key: Hashable, now: int) -> int:

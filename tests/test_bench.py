@@ -111,6 +111,21 @@ class TestSchema:
         payload["mode"] = "quick"
         assert any("mode" in e for e in validate_payload(payload))
 
+    def test_valid_observability_snapshot_accepted(self) -> None:
+        payload = _valid_payload()
+        payload["observability"] = {
+            "schema_version": 1,
+            "metrics": [
+                {"name": "platform.actionlog.appends", "type": "counter", "labels": {}, "value": 9}
+            ],
+        }
+        assert validate_payload(payload) == []
+
+    def test_bad_observability_snapshot_rejected(self) -> None:
+        payload = _valid_payload()
+        payload["observability"] = {"schema_version": 1, "metrics": "nope"}
+        assert any(e.startswith("observability:") for e in validate_payload(payload))
+
 
 class TestCli:
     def test_list_scenarios(self, capsys: pytest.CaptureFixture) -> None:
@@ -153,6 +168,12 @@ class TestCli:
         assert any(name.endswith("-fast") for name in names)
         assert any(name.endswith("-naive") for name in names)
         assert all(result["ticks_per_s"] > 0 for result in payload["results"])
+        # every scenario payload carries the timed study's obs snapshot
+        snapshot = payload["observability"]
+        appended = {
+            entry["name"]: entry.get("value") for entry in snapshot["metrics"]
+        }
+        assert appended.get("platform.actionlog.appends", 0) > 0
 
 
 def test_bench_file_name() -> None:

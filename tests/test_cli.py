@@ -18,6 +18,15 @@ class TestParser:
         assert args.preset == "tiny"
         assert args.seed == 42
         assert args.measurement_days == 0
+        assert args.verbose is False
+        assert args.trace == ""
+
+    def test_observability_flags(self):
+        args = build_parser().parse_args(
+            ["run-study", "--verbose", "--trace", "out/trace.jsonl"]
+        )
+        assert args.verbose is True
+        assert args.trace == "out/trace.jsonl"
 
     def test_preset_choices(self):
         with pytest.raises(SystemExit):
@@ -67,3 +76,32 @@ class TestRunStudy:
         text = output.read_text()
         for marker in ("Table 1", "Table 5", "Table 9", "Table 11", "Figure 2", "Figures 3-4"):
             assert marker in text
+
+    def test_run_study_writes_a_valid_trace(self, tmp_path, capsys):
+        from repro.obs import read_trace_lines, validate_trace
+
+        trace = tmp_path / "trace.jsonl"
+        code = main(
+            [
+                "run-study",
+                "--preset",
+                "tiny",
+                "--seed",
+                "5",
+                "--measurement-days",
+                "4",
+                "--output",
+                str(tmp_path / "report.txt"),
+                "--verbose",
+                "--trace",
+                str(trace),
+            ]
+        )
+        assert code == 0
+        lines = read_trace_lines(trace)
+        assert validate_trace(lines) == []
+        header = lines[0]
+        assert header["meta"] == {"command": "run-study", "preset": "tiny", "seed": 5}
+        # CLI traces carry the opt-in wall-clock durations
+        spans = [line for line in lines if line.get("kind") == "span"]
+        assert spans and all("wall_s" in span for span in spans)

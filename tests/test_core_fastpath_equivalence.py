@@ -20,12 +20,13 @@ from repro.core import reporting as R
 from repro.interventions.experiment import BroadInterventionPlan
 
 
-def _config(fast: bool) -> StudyConfig:
+def _config(fast: bool, observability: bool = True) -> StudyConfig:
     return replace(
         StudyConfig.tiny(seed=314),
         honeypot_days=3,
         measurement_days=3,
         fast_path=fast,
+        observability=observability,
     )
 
 
@@ -45,6 +46,20 @@ def pair():
         studies[fast] = study
         outcomes[fast] = (results, stability, dataset, broad)
     return studies, outcomes
+
+
+@pytest.fixture(scope="module")
+def dark(pair):
+    """The fast pipeline rerun with ``observability=False``."""
+    study = Study(_config(fast=True, observability=False))
+    study.run_honeypot_phase()
+    study.learn_signatures()
+    study.verify_signal_stability(probe_days=1)
+    study.run_measurement()
+    broad = study.run_broad_intervention(
+        BroadInterventionPlan(delay_days=1, block_days=1), calibration_days=2
+    )
+    return study, broad
 
 
 def _log_rows(study: Study) -> list[tuple]:
@@ -139,3 +154,44 @@ def test_wheel_parks_collusion_driver_after_expiry(pair) -> None:
 def test_naive_study_builds_no_wheel(pair) -> None:
     studies, _ = pair
     assert studies[False]._wheel is None
+
+
+# ----------------------------------------------------------------------
+# Observability must be write-only: obs-off runs bit-identical, and both
+# execution modes emit the same phase-span stream (tick stamps included).
+# ----------------------------------------------------------------------
+
+
+def _span_rows(study: Study) -> list[tuple]:
+    return [
+        (s.name, s.parent_id, s.depth, s.start_tick, s.end_tick, sorted(s.attrs.items()))
+        for s in study.obs.tracer.finished
+    ]
+
+
+def test_obs_off_action_log_identical(pair, dark) -> None:
+    studies, _ = pair
+    dark_study, _ = dark
+    assert dark_study.obs.enabled is False
+    assert _log_rows(dark_study) == _log_rows(studies[True])
+
+
+def test_obs_off_intervention_identical(pair, dark) -> None:
+    _, outcomes = pair
+    _, dark_broad = dark
+    fast_broad = outcomes[True][3]
+    dark_ids = {k: [r.action_id for r in v.records] for k, v in dark_broad.attributed.items()}
+    fast_ids = {k: [r.action_id for r in v.records] for k, v in fast_broad.attributed.items()}
+    assert dark_ids == fast_ids
+
+
+def test_obs_off_collects_nothing(dark) -> None:
+    dark_study, _ = dark
+    assert dark_study.obs.metrics.snapshot()["metrics"] == []
+    assert dark_study.obs.tracer.finished == ()
+
+
+def test_span_streams_identical_across_modes(pair) -> None:
+    studies, _ = pair
+    assert _span_rows(studies[True]) == _span_rows(studies[False])
+    assert _span_rows(studies[True])  # and they are not trivially empty

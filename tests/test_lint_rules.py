@@ -257,6 +257,42 @@ class TestApiRules:
         assert fired(snippet) == []
 
 
+class TestObservabilityRules:
+    def test_obs001_flags_print_in_library_code(self):
+        assert fired('print("sweep done")\n') == ["OBS001"]
+        assert "OBS001" in fired(
+            'import sys\nprint("progress", file=sys.stderr)\n',
+            path="src/repro/core/sample.py",
+        )
+
+    def test_obs001_silent_in_console_owners(self):
+        snippet = 'print("report line")\n'
+        for path in (
+            "src/repro/cli.py",
+            "src/repro/bench/cli.py",
+            "src/repro/lint/cli.py",
+            "src/repro/obs/cli.py",
+            "src/repro/obs/report.py",
+        ):
+            assert fired(snippet, path=path) == [], path
+
+    def test_obs001_silent_outside_the_package(self):
+        assert fired('print("debugging")\n', path="tests/test_sample.py") == []
+        assert fired('print("hello")\n', path="scripts/loose_script.py") == []
+
+    def test_obs001_silent_on_methods_and_lookalikes(self):
+        snippet = """
+            def report(printer):
+                printer.print("fine: not the builtin")
+                pprint(["also fine"])
+        """
+        assert fired(snippet) == []
+
+    def test_obs001_suppressed(self):
+        snippet = 'print("x")  # repro-lint: ignore[OBS001] -- test waiver\n'
+        assert fired(snippet) == []
+
+
 class TestEngine:
     def test_unparseable_file_is_a_parse_finding(self):
         findings = lint_source("def broken(:\n", path=AAS_PATH)
@@ -286,7 +322,7 @@ class TestEngine:
     def test_rule_registry_is_unique_and_complete(self):
         ids = rule_ids()
         assert len(ids) == len(set(ids))
-        for family in ("DET", "ARCH", "API"):
+        for family in ("DET", "ARCH", "API", "OBS"):
             assert any(rule_id.startswith(family) for rule_id in ids), family
 
     def test_select_rules_rejects_unknown_ids(self):

@@ -47,6 +47,18 @@ class TestScoping:
     def test_files_outside_the_package_are_never_waived(self) -> None:
         assert "DET003" in _rules_found(WALL_CLOCK_SOURCE, "scripts/loose_script.py")
 
+    def test_obs_walltime_is_waived_for_wall_clock(self) -> None:
+        assert _rules_found(WALL_CLOCK_SOURCE, "src/repro/obs/walltime.py") == []
+
+    def test_obs_walltime_waiver_stops_at_the_module(self) -> None:
+        # the waiver names repro.obs.walltime, not the whole obs package
+        for path in (
+            "src/repro/obs/metrics.py",
+            "src/repro/obs/spans.py",
+            "src/repro/obs/trace.py",
+        ):
+            assert "DET003" in _rules_found(WALL_CLOCK_SOURCE, path), path
+
 
 class TestWaiverTable:
     def test_standing_waivers_are_justified(self) -> None:

@@ -1,0 +1,161 @@
+"""Tests for repro.obs metric instruments, the registry, and snapshots."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    SNAPSHOT_SCHEMA_VERSION,
+    MetricsRegistry,
+    validate_snapshot,
+)
+from repro.obs.metrics import (
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+    format_metric,
+)
+
+
+class TestInstruments:
+    def test_counter_accumulates(self) -> None:
+        counter = MetricsRegistry().counter("x")
+        counter.inc()
+        counter.inc(3)
+        assert counter.value == 4
+
+    def test_counter_rejects_negative(self) -> None:
+        counter = MetricsRegistry().counter("x")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_last_write_wins(self) -> None:
+        gauge = MetricsRegistry().gauge("x")
+        gauge.set(7)
+        gauge.inc(0.5)
+        gauge.set(2.0)
+        assert gauge.value == 2.0
+
+    def test_histogram_summary(self) -> None:
+        histogram = MetricsRegistry().histogram("x")
+        for value in (1, 2, 3, 4):
+            histogram.observe(value)
+        summary = histogram.summary()
+        assert summary["count"] == 4
+        assert summary["sum"] == 10.0
+        assert summary["min"] == 1.0
+        assert summary["max"] == 4.0
+        assert set(summary["percentiles"]) == {"p50", "p90", "p99"}
+
+    def test_empty_histogram_summary_is_null(self) -> None:
+        summary = MetricsRegistry().histogram("x").summary()
+        assert summary == {"count": 0, "sum": 0.0, "min": None, "max": None, "percentiles": None}
+
+    def test_null_instruments_drop_writes(self) -> None:
+        NULL_COUNTER.inc(100)
+        NULL_GAUGE.set(5.0)
+        NULL_HISTOGRAM.observe(1.0)
+        assert NULL_COUNTER.value == 0
+        assert NULL_GAUGE.value == 0.0
+        assert NULL_HISTOGRAM.count == 0
+
+
+class TestRegistry:
+    def test_same_key_returns_same_instrument(self) -> None:
+        registry = MetricsRegistry()
+        a = registry.counter("hits", path="index")
+        b = registry.counter("hits", path="index")
+        assert a is b
+
+    def test_label_order_does_not_matter(self) -> None:
+        registry = MetricsRegistry()
+        # keyword order differs; the sorted label items are the key
+        a = registry.counter("hits", a="1", b="2")
+        b = registry.counter("hits", b="2", a="1")
+        assert a is b
+
+    def test_different_labels_are_different_series(self) -> None:
+        registry = MetricsRegistry()
+        assert registry.counter("hits", path="index") is not registry.counter(
+            "hits", path="scan"
+        )
+
+    def test_kind_mismatch_rejected(self) -> None:
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            registry.gauge("x")
+
+    def test_non_str_label_rejected(self) -> None:
+        registry = MetricsRegistry()
+        with pytest.raises(TypeError):
+            registry.counter("x", tier=3)  # type: ignore[arg-type]
+
+    def test_get_counter_value(self) -> None:
+        registry = MetricsRegistry()
+        assert registry.get_counter_value("hits", path="index") is None
+        registry.counter("hits", path="index").inc(5)
+        assert registry.get_counter_value("hits", path="index") == 5
+        registry.gauge("level")
+        assert registry.get_counter_value("level") is None
+
+    def test_format_metric(self) -> None:
+        assert format_metric("hits", {}) == "hits"
+        assert format_metric("hits", {"b": "2", "a": "1"}) == "hits{a=1,b=2}"
+
+
+class TestSnapshot:
+    def _registry(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.counter("z.hits", path="index").inc(3)
+        registry.gauge("a.level").set(1.5)
+        registry.histogram("m.sizes").observe(2.0)
+        return registry
+
+    def test_snapshot_is_versioned_sorted_and_valid(self) -> None:
+        snapshot = self._registry().snapshot()
+        assert snapshot["schema_version"] == SNAPSHOT_SCHEMA_VERSION
+        names = [entry["name"] for entry in snapshot["metrics"]]
+        assert names == sorted(names)
+        assert validate_snapshot(snapshot) == []
+
+    def test_snapshot_entry_shapes(self) -> None:
+        entries = {entry["name"]: entry for entry in self._registry().snapshot()["metrics"]}
+        assert entries["z.hits"]["type"] == "counter"
+        assert entries["z.hits"]["value"] == 3
+        assert entries["z.hits"]["labels"] == {"path": "index"}
+        assert entries["a.level"] == {
+            "name": "a.level",
+            "type": "gauge",
+            "labels": {},
+            "value": 1.5,
+        }
+        assert entries["m.sizes"]["count"] == 1
+
+    def test_validator_rejects_bad_payloads(self) -> None:
+        assert validate_snapshot([]) != []
+        assert validate_snapshot({"schema_version": 99, "metrics": []}) != []
+        bad_counter = {
+            "schema_version": SNAPSHOT_SCHEMA_VERSION,
+            "metrics": [{"name": "x", "type": "counter", "labels": {}, "value": -1}],
+        }
+        assert any("non-negative" in error for error in validate_snapshot(bad_counter))
+        bad_kind = {
+            "schema_version": SNAPSHOT_SCHEMA_VERSION,
+            "metrics": [{"name": "x", "type": "timer", "labels": {}, "value": 1}],
+        }
+        assert any("type" in error for error in validate_snapshot(bad_kind))
+
+    def test_validator_pins_empty_histogram_nulls(self) -> None:
+        entry = {
+            "name": "x",
+            "type": "histogram",
+            "labels": {},
+            "count": 0,
+            "sum": 0.0,
+            "min": 1.0,  # must be null when empty
+            "max": None,
+            "percentiles": None,
+        }
+        payload = {"schema_version": SNAPSHOT_SCHEMA_VERSION, "metrics": [entry]}
+        assert any("min" in error for error in validate_snapshot(payload))
