@@ -191,9 +191,13 @@ class OrganicActivityDriver:
         users do not spontaneously engage with the fresh, unknown
         accounts they just followed back.
         """
+        # sorted: the follow set's hash-table iteration order is a
+        # function of its mutation history, which a snapshot/restore
+        # cycle (repro.fleet) does not preserve — the RNG-indexed pick
+        # below must see a reproducible ordering either way
         following = [
             account
-            for account in self.platform.graph.following(actor)
+            for account in sorted(self.platform.graph.following(actor))
             if account in self.population.profiles
         ]
         if following and self._rng.random() < 0.7:

@@ -13,6 +13,7 @@ from typing import Sequence
 
 from repro.bench.scenarios import SCENARIOS, bench_file_name
 from repro.bench.schema import validate_payload
+from repro.core.config import resolve_workers
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -33,6 +34,17 @@ def _build_parser() -> argparse.ArgumentParser:
         "--only",
         metavar="NAMES",
         help=f"comma-separated scenario subset (of: {', '.join(SCENARIOS)})",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "worker processes for the fleet scenario's pooled case "
+            "(default: REPRO_WORKERS or 4); merged fleet output is "
+            "byte-identical for any value"
+        ),
     )
     parser.add_argument(
         "--out-dir",
@@ -95,10 +107,16 @@ def main(argv: Sequence[str] | None = None) -> int:
                 f"unknown scenario(s): {', '.join(unknown)} (known: {', '.join(SCENARIOS)})"
             )
 
+    try:
+        # the fleet scenario's pooled case defaults to a real pool
+        workers = resolve_workers(args.workers, default=4)
+    except ValueError as exc:
+        parser.error(str(exc))
+
     out_dir = Path(args.out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
     for name in selected:
-        payload = SCENARIOS[name](args.smoke)
+        payload = SCENARIOS[name](args.smoke, workers=workers)
         errors = validate_payload(payload)
         if errors:  # a scenario bug, not a user error — fail loudly
             for error in errors:

@@ -14,13 +14,22 @@ from typing import Callable
 
 @dataclass(frozen=True)
 class Stats:
-    """Summary of one timed case's samples."""
+    """Summary of one timed case's samples.
+
+    ``stdev_s`` is the sample standard deviation (0.0 with a single
+    repetition) and ``cv`` the coefficient of variation —
+    ``stdev_s / mean_s`` — the noise yardstick derived speedups are
+    judged against: a ratio within the CV of 1.0 is indistinguishable
+    from measurement noise and gets flagged, not celebrated.
+    """
 
     warmup: int
     repetitions: int
     best_s: float
     mean_s: float
     median_s: float
+    stdev_s: float
+    cv: float
 
     def as_dict(self) -> dict:
         return {
@@ -29,6 +38,8 @@ class Stats:
             "best_s": self.best_s,
             "mean_s": self.mean_s,
             "median_s": self.median_s,
+            "stdev_s": self.stdev_s,
+            "cv": self.cv,
         }
 
 
@@ -93,10 +104,18 @@ def summarize(samples: list[float], warmup: int) -> Stats:
         median = ordered[middle]
     else:
         median = (ordered[middle - 1] + ordered[middle]) / 2.0
+    mean = sum(samples) / len(samples)
+    if len(samples) > 1:
+        variance = sum((value - mean) ** 2 for value in samples) / (len(samples) - 1)
+        stdev = variance ** 0.5
+    else:
+        stdev = 0.0
     return Stats(
         warmup=warmup,
         repetitions=len(samples),
         best_s=ordered[0],
-        mean_s=sum(samples) / len(samples),
+        mean_s=mean,
         median_s=median,
+        stdev_s=stdev,
+        cv=stdev / mean if mean > 0 else 0.0,
     )

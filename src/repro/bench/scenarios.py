@@ -13,6 +13,11 @@ Three scenarios cover the hot paths the indexed/incremental fast path
   attached (streaming) classifier.
 * ``run_standard`` — wall time of the whole pipeline (honeypots →
   signatures → measurement), fast path vs. naive.
+* ``fleet`` — the :mod:`repro.fleet` replication runner: a seeds ×
+  intervention-arms sweep run serially with every replica rebuilding its
+  prefix, vs. pooled with the world-snapshot prefix cache. The derived
+  block records the snapshot hit rate and that the serial and pooled
+  replica payloads are identical.
 
 Each scenario returns one schema-versioned payload
 (:mod:`repro.bench.schema`); the CLI writes it to
@@ -28,17 +33,37 @@ park/wake behavior.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import replace
 from typing import Callable
 
-from repro.bench.harness import summarize, time_interleaved, time_repeated
+from repro.bench.harness import Stats, summarize, time_interleaved, time_repeated
 from repro.bench.schema import SCHEMA_VERSION
 from repro.core.config import StudyConfig
 from repro.core.study import Study
 from repro.detection.classifier import AASClassifier
+from repro.fleet import FleetResult, FleetRunner, ReplicaSpec
 
 #: seed used by every scenario; fixed so reruns time identical workloads
 BENCH_SEED = 42
+
+
+def _speedup(slow: Stats, fast: Stats) -> dict:
+    """A ``derived.speedup_*`` entry: the ratio plus its noise verdict.
+
+    ``noise_floor`` is true when |speedup - 1| sits inside the larger of
+    the two cases' coefficients of variation — i.e. the measured ratio
+    is indistinguishable from run-to-run jitter and must not be read as
+    a real effect.
+    """
+    value = slow.mean_s / fast.mean_s
+    noise_cv = max(slow.cv, fast.cv)
+    return {
+        "value": value,
+        "noise_cv": noise_cv,
+        "noise_floor": abs(value - 1.0) < noise_cv,
+    }
 
 
 def bench_file_name(benchmark: str) -> str:
@@ -76,7 +101,7 @@ def _mode_label(fast: bool) -> str:
 # tick_loop — simulation throughput at several population scales
 # ----------------------------------------------------------------------
 
-def bench_tick_loop(smoke: bool) -> dict:
+def bench_tick_loop(smoke: bool, workers: int = 1) -> dict:
     sizes = (260,) if smoke else (260, 520, 900)
     hours = 24 if smoke else 48
     warmup, repetitions = (0, 1) if smoke else (1, 3)
@@ -121,7 +146,7 @@ def bench_tick_loop(smoke: bool) -> dict:
 # sweep — attribution latency: brute force vs. bucketed vs. incremental
 # ----------------------------------------------------------------------
 
-def bench_sweep(smoke: bool) -> dict:
+def bench_sweep(smoke: bool, workers: int = 1) -> dict:
     measurement_days = 3 if smoke else 10
     warmup, repetitions = (0, 2) if smoke else (1, 5)
 
@@ -158,22 +183,22 @@ def bench_sweep(smoke: bool) -> dict:
         ("incremental", incremental_case),
     )
     results = []
-    mean_by_name: dict[str, float] = {}
+    stats_by_name: dict[str, Stats] = {}
     for name, make_case in cases:
         stats = summarize(time_repeated(make_case, warmup, repetitions), warmup)
-        mean_by_name[name] = stats.mean_s
+        stats_by_name[name] = stats
         results.append({"name": name, "stats": stats.as_dict()})
     derived = {
         "log_records": len(log),
         "window_records": len(log.records_between(start_tick, end_tick)),
-        "speedup_incremental_vs_cold_brute": (
-            mean_by_name["cold-brute-force"] / mean_by_name["incremental"]
+        "speedup_incremental_vs_cold_brute": _speedup(
+            stats_by_name["cold-brute-force"], stats_by_name["incremental"]
         ),
-        "speedup_incremental_vs_cold_bucketed": (
-            mean_by_name["cold-bucketed"] / mean_by_name["incremental"]
+        "speedup_incremental_vs_cold_bucketed": _speedup(
+            stats_by_name["cold-bucketed"], stats_by_name["incremental"]
         ),
-        "speedup_bucketed_vs_cold_brute": (
-            mean_by_name["cold-brute-force"] / mean_by_name["cold-bucketed"]
+        "speedup_bucketed_vs_cold_brute": _speedup(
+            stats_by_name["cold-brute-force"], stats_by_name["cold-bucketed"]
         ),
     }
     settings = {
@@ -191,10 +216,10 @@ def bench_sweep(smoke: bool) -> dict:
 # run_standard — the whole pipeline, fast path vs. naive
 # ----------------------------------------------------------------------
 
-def bench_run_standard(smoke: bool) -> dict:
+def bench_run_standard(smoke: bool, workers: int = 1) -> dict:
     warmup, repetitions = (0, 1) if smoke else (1, 3)
     results = []
-    mean_by_mode: dict[str, float] = {}
+    stats_by_mode: dict[str, Stats] = {}
 
     built: dict[bool, Study] = {}
 
@@ -209,19 +234,146 @@ def bench_run_standard(smoke: bool) -> dict:
     cases = {_mode_label(fast): (lambda fast=fast: make_case(fast)) for fast in (True, False)}
     for label, samples in time_interleaved(cases, warmup, repetitions).items():
         stats = summarize(samples, warmup)
-        mean_by_mode[label] = stats.mean_s
+        stats_by_mode[label] = stats
         results.append({"name": f"run-standard-{label}", "stats": stats.as_dict()})
     settings = {"seed": BENCH_SEED, "preset": "tiny"}
-    derived = {"speedup_fast_vs_naive": mean_by_mode["naive"] / mean_by_mode["fast"]}
+    derived = {"speedup_fast_vs_naive": _speedup(stats_by_mode["naive"], stats_by_mode["fast"])}
     return _envelope(
         "run_standard", smoke, settings, results, derived,
         observability=built[True].obs.metrics.snapshot(),
     )
 
 
-#: scenario name -> builder, in emission order
-SCENARIOS: dict[str, Callable[[bool], dict]] = {
+# ----------------------------------------------------------------------
+# fleet — replication runner: serial rebuild-everything vs pooled reuse
+# ----------------------------------------------------------------------
+
+def _fleet_specs(smoke: bool) -> list[ReplicaSpec]:
+    """The fleet workload: seeds × intervention arms sharing a prefix.
+
+    Full mode stretches the honeypot phase so the shared prefix
+    dominates each replica — the realistic shape for arm sweeps, and the
+    regime the snapshot cache exists for. Intervention arms skip the
+    pre-intervention measurement window (``measurement_days=0``);
+    standard arms keep short ones so both payload shapes are exercised.
+    """
+    honeypot_days = 4 if smoke else 16
+    base = replace(StudyConfig.tiny(seed=BENCH_SEED), honeypot_days=honeypot_days)
+    seeds = (BENCH_SEED, BENCH_SEED + 1)
+    specs: list[ReplicaSpec] = []
+    for seed in seeds:
+        config = replace(base, seed=seed)
+        specs.append(
+            ReplicaSpec(
+                name=f"seed-{seed}/standard-md1",
+                config=config,
+                arm="standard",
+                arm_options=(("measurement_days", 1),),
+            )
+        )
+        specs.append(
+            ReplicaSpec(
+                name=f"seed-{seed}/narrow",
+                config=config,
+                arm="narrow",
+                arm_options=(
+                    ("measurement_days", 0),
+                    ("narrow_days", 1 if smoke else 2),
+                    ("calibration_days", 1),
+                ),
+            )
+        )
+        if not smoke:
+            specs.append(
+                ReplicaSpec(
+                    name=f"seed-{seed}/standard-md2",
+                    config=config,
+                    arm="standard",
+                    arm_options=(("measurement_days", 2),),
+                )
+            )
+            specs.append(
+                ReplicaSpec(
+                    name=f"seed-{seed}/broad",
+                    config=config,
+                    arm="broad",
+                    arm_options=(
+                        ("measurement_days", 0),
+                        ("delay_days", 1),
+                        ("block_days", 1),
+                        ("calibration_days", 1),
+                    ),
+                )
+            )
+    return specs
+
+
+def _replica_payload_digest(result: FleetResult) -> str:
+    """Digest of the inner replica payloads only — the part that must be
+    identical between the serial and pooled cases (the snapshot-stats
+    envelope legitimately differs: reuse is off in the serial baseline)."""
+    text = json.dumps([r.payload for r in result.replicas], sort_keys=True)
+    return hashlib.blake2b(text.encode("utf-8"), digest_size=16).hexdigest()
+
+
+def bench_fleet(smoke: bool, workers: int = 4) -> dict:
+    specs = _fleet_specs(smoke)
+    warmup, repetitions = 0, 1
+
+    captured: dict[str, FleetResult] = {}
+
+    def serial_case() -> Callable[[], object]:
+        runner = FleetRunner(workers=1, reuse_prefix=False)
+        return lambda: captured.__setitem__("serial-no-reuse", runner.run(specs))
+
+    def pooled_case() -> Callable[[], object]:
+        runner = FleetRunner(workers=workers, reuse_prefix=True)
+        return lambda: captured.__setitem__("pooled-reuse", runner.run(specs))
+
+    results = []
+    stats_by_name: dict[str, Stats] = {}
+    for name, make_case in (("serial-no-reuse", serial_case), ("pooled-reuse", pooled_case)):
+        stats = summarize(time_repeated(make_case, warmup, repetitions), warmup)
+        stats_by_name[name] = stats
+        results.append(
+            {"name": name, "stats": stats.as_dict(), "replicas": len(specs)}
+        )
+
+    pooled = captured["pooled-reuse"]
+    serial = captured["serial-no-reuse"]
+    derived = {
+        "speedup_pooled_vs_serial": _speedup(
+            stats_by_name["serial-no-reuse"], stats_by_name["pooled-reuse"]
+        ),
+        "replica_payloads_match": (
+            _replica_payload_digest(serial) == _replica_payload_digest(pooled)
+        ),
+        "snapshot": {
+            "prefix_groups": pooled.prefix_groups,
+            "prefix_builds": pooled.prefix_builds,
+            "prefix_restores": pooled.prefix_restores,
+            "build_cost_avoided_frac": pooled.build_cost_avoided_frac,
+            "snapshot_hit_rate": (
+                (pooled.prefix_restores - pooled.prefix_builds) / pooled.prefix_restores
+                if pooled.prefix_restores
+                else 0.0
+            ),
+        },
+    }
+    settings = {
+        "seed": BENCH_SEED,
+        "preset": "tiny",
+        "honeypot_days": 4 if smoke else 16,
+        "replicas": [spec.name for spec in specs],
+        "workers": workers,
+    }
+    return _envelope("fleet", smoke, settings, results, derived)
+
+
+#: scenario name -> builder(smoke, workers), in emission order
+SCENARIOS: dict[str, Callable[..., dict]] = {
     "tick_loop": bench_tick_loop,
     "sweep": bench_sweep,
     "run_standard": bench_run_standard,
+    "fleet": bench_fleet,
 }

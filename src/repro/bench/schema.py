@@ -3,7 +3,7 @@
 All scenario files share one envelope::
 
     {
-      "schema_version": 1,
+      "schema_version": 2,
       "benchmark": "<scenario name>",
       "mode": "full" | "smoke",
       "settings": { ...scenario knobs (seed, scales, days, ...) },
@@ -11,12 +11,14 @@ All scenario files share one envelope::
         {
           "name": "<case label>",
           "stats": {"warmup": int, "repetitions": int,
-                    "best_s": float, "mean_s": float, "median_s": float},
+                    "best_s": float, "mean_s": float, "median_s": float,
+                    "stdev_s": float, "cv": float},
           ...optional extra numeric fields (e.g. "ticks_per_s")
         },
         ...
       ],
-      "derived": { ...optional cross-case numbers (e.g. speedups) },
+      "derived": { ...optional cross-case numbers; every "speedup_*"
+                   entry is {"value": float, "noise_floor": bool, ...} },
       "observability": { ...optional repro.obs metrics snapshot of a
                          representative timed study — the explanatory
                          context for the timings (index hit rates,
@@ -33,7 +35,11 @@ from __future__ import annotations
 
 from repro.obs.schema import validate_snapshot
 
-SCHEMA_VERSION = 1
+#: v2: stats blocks carry stdev_s + cv, and every ``derived.speedup_*``
+#: entry is an object ``{"value": float, "noise_floor": bool, ...}`` —
+#: ``noise_floor`` true means |speedup - 1| sits inside the compared
+#: cases' coefficient of variation, i.e. the ratio is measurement noise
+SCHEMA_VERSION = 2
 
 _STATS_FIELDS: tuple[tuple[str, type | tuple[type, ...]], ...] = (
     ("warmup", int),
@@ -41,6 +47,8 @@ _STATS_FIELDS: tuple[tuple[str, type | tuple[type, ...]], ...] = (
     ("best_s", (int, float)),
     ("mean_s", (int, float)),
     ("median_s", (int, float)),
+    ("stdev_s", (int, float)),
+    ("cv", (int, float)),
 )
 
 
@@ -72,7 +80,31 @@ def validate_payload(payload: object) -> list[str]:
     _check(payload.get("mode") in ("full", "smoke"), "mode must be 'full' or 'smoke'", errors)
     _check(isinstance(payload.get("settings"), dict), "settings must be an object", errors)
     if "derived" in payload:
-        _check(isinstance(payload["derived"], dict), "derived must be an object", errors)
+        derived = payload["derived"]
+        if _check(isinstance(derived, dict), "derived must be an object", errors):
+            assert isinstance(derived, dict)
+            for key, entry in derived.items():
+                if not (isinstance(key, str) and key.startswith("speedup_")):
+                    continue
+                where = f"derived.{key}"
+                if not _check(
+                    isinstance(entry, dict),
+                    f"{where} must be an object with value and noise_floor",
+                    errors,
+                ):
+                    continue
+                assert isinstance(entry, dict)
+                value = entry.get("value")
+                _check(
+                    isinstance(value, (int, float)) and not isinstance(value, bool),
+                    f"{where}.value must be a number",
+                    errors,
+                )
+                _check(
+                    isinstance(entry.get("noise_floor"), bool),
+                    f"{where}.noise_floor must be a boolean",
+                    errors,
+                )
     if "observability" in payload:
         for error in validate_snapshot(payload["observability"]):
             errors.append(f"observability: {error}")

@@ -3,7 +3,10 @@
 Commands:
 
 * ``run-study`` — run the full measurement pipeline and print every
-  business table (Tables 5-11, Figure 2, Figures 3-4 medians).
+  business table (Tables 5-11, Figure 2, Figures 3-4 medians). With
+  ``--seeds 42,43,44`` the pipeline runs once per seed as a
+  :mod:`repro.fleet` replica fleet (``--workers N`` fans the replicas
+  over worker processes; output is byte-identical for any N).
 * ``run-interventions`` — continue with the narrow and broad
   intervention experiments and print the Figure 5-7 series.
 * ``list-presets`` — show the available scale presets.
@@ -71,6 +74,24 @@ def build_parser() -> argparse.ArgumentParser:
     run_study.add_argument(
         "--measurement-days", type=int, default=0, help="override the preset's window length"
     )
+    run_study.add_argument(
+        "--seeds",
+        type=str,
+        default="",
+        help=(
+            "comma-separated seed list; runs one replica per seed via the "
+            "fleet runner and prints each seed's report (overrides --seed)"
+        ),
+    )
+    run_study.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "worker processes for --seeds fleets (default: REPRO_WORKERS "
+            "or 1); merged output is byte-identical for any value"
+        ),
+    )
 
     run_interventions = subparsers.add_parser(
         "run-interventions", help="narrow + broad intervention experiments"
@@ -130,27 +151,53 @@ def _run_measurement(args, out: TextIO) -> Study:
     study.run_honeypot_phase()
     study.learn_signatures()
     dataset = study.run_measurement()
-
-    sections = [
-        R.render_table1(E.table1_services(study)),
-        R.render_table2(E.table2_reciprocity_pricing()),
-        R.render_table3(E.table3_hublaagram_pricing(study)),
-        R.render_table4(E.table4_followersgratis_pricing()),
-        R.render_table5(E.table5_reciprocation(study.reciprocation_results)),
-        R.render_table6(E.table6_customers(dataset)),
-        R.render_table7(E.table7_locations(study, dataset)),
-        R.render_table8(E.table8_reciprocity_revenue(study, dataset)),
-        R.render_table9(E.table9_hublaagram_revenue(study, dataset)),
-        R.render_table10(E.table10_renewals(study, dataset)),
-        R.render_table11(E.table11_action_mix(dataset)),
-        R.render_fig2(E.fig2_geography(study, dataset)),
-        R.render_fig34(E.fig34_target_bias(study, dataset, sample_size=500)),
-    ]
-    print("\n\n".join(sections), file=out)
+    print(E.render_study_report(study, dataset), file=out)
     return study
 
 
+def _parse_seeds(raw: str) -> list[int]:
+    try:
+        seeds = [int(part.strip()) for part in raw.split(",") if part.strip()]
+    except ValueError as exc:
+        raise SystemExit(f"--seeds must be comma-separated integers: {exc}")
+    if not seeds:
+        raise SystemExit("--seeds must name at least one seed")
+    if len(set(seeds)) != len(seeds):
+        raise SystemExit("--seeds must not repeat a seed")
+    return seeds
+
+
+def _run_study_fleet(args, out: TextIO) -> int:
+    from repro.core.config import resolve_workers
+    from repro.fleet import FleetRunner, seed_sweep
+    from repro.obs.trace import render_trace
+
+    seeds = _parse_seeds(args.seeds)
+    config = PRESETS[args.preset](seed=seeds[0])
+    arm_options: tuple[tuple[str, object], ...] = ()
+    if getattr(args, "measurement_days", 0):
+        arm_options = (("measurement_days", args.measurement_days),)
+    specs = seed_sweep(config, seeds, arm="report", arm_options=arm_options)
+    runner = FleetRunner(workers=resolve_workers(args.workers))
+    result = runner.run(specs)
+    reports = []
+    for replica in result.replicas:
+        reports.append(
+            f"=== {replica.name} (seed {replica.seed}) ===\n\n"
+            f"{replica.payload['report']}"
+        )
+    print("\n\n".join(reports), file=out)
+    path = getattr(args, "trace", "")
+    if path:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(render_trace(result.merged_trace_lines()))
+        print(f"Wrote merged trace to {path}", file=sys.stderr)
+    return 0
+
+
 def cmd_run_study(args, out: TextIO) -> int:
+    if getattr(args, "seeds", ""):
+        return _run_study_fleet(args, out)
     study = _run_measurement(args, out)
     _write_trace(study, args)
     return 0

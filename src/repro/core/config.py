@@ -242,3 +242,33 @@ class StudyConfig:
 
     def with_measurement_days(self, days_: int) -> "StudyConfig":
         return replace(self, measurement_days=days_)
+
+
+def resolve_workers(cli_value: int | None = None, default: int = 1) -> int:
+    """Worker-process count for fleet runs: CLI flag, env, or ``default``.
+
+    Precedence: an explicit ``--workers`` value wins, then the
+    ``REPRO_WORKERS`` environment variable, then ``default``.
+    Lives here because this module is the sanctioned home for
+    environment reads (the DET006 lint exemption); worker count only
+    scales wall-clock fan-out — merged fleet output is byte-identical
+    for any value (see :mod:`repro.fleet.runner`).
+    """
+    import os
+
+    if cli_value is not None:
+        if cli_value < 1:
+            raise ValueError("--workers must be >= 1")
+        return cli_value
+    raw = os.environ.get("REPRO_WORKERS", "").strip()
+    if not raw:
+        if default < 1:
+            raise ValueError("default workers must be >= 1")
+        return default
+    try:
+        value = int(raw)
+    except ValueError as exc:
+        raise ValueError(f"REPRO_WORKERS must be an integer, got {raw!r}") from exc
+    if value < 1:
+        raise ValueError(f"REPRO_WORKERS must be >= 1, got {value}")
+    return value

@@ -431,3 +431,31 @@ def fig7_broad_follows(outcome: InterventionOutcome, service: str = "Boostgram")
         "weekly_group_shares": shares,
         "daily_eligible_proportion": dict(sorted(daily.items())),
     }
+
+
+def render_study_report(study: Study, dataset: MeasurementDataset) -> str:
+    """The full run-study report: every business table and figure.
+
+    One canonical assembly shared by the CLI's ``run-study`` command and
+    the fleet ``report`` arm, so a multi-seed fleet replica emits
+    byte-identical sections to a serial ``python -m repro run-study`` of
+    the same config.
+    """
+    from repro.core import reporting as R
+
+    sections = [
+        R.render_table1(table1_services(study)),
+        R.render_table2(table2_reciprocity_pricing()),
+        R.render_table3(table3_hublaagram_pricing(study)),
+        R.render_table4(table4_followersgratis_pricing()),
+        R.render_table5(table5_reciprocation(study.reciprocation_results)),
+        R.render_table6(table6_customers(dataset)),
+        R.render_table7(table7_locations(study, dataset)),
+        R.render_table8(table8_reciprocity_revenue(study, dataset)),
+        R.render_table9(table9_hublaagram_revenue(study, dataset)),
+        R.render_table10(table10_renewals(study, dataset)),
+        R.render_table11(table11_action_mix(dataset)),
+        R.render_fig2(fig2_geography(study, dataset)),
+        R.render_fig34(fig34_target_bias(study, dataset, sample_size=500)),
+    ]
+    return "\n\n".join(sections)

@@ -131,6 +131,26 @@ class Study:
             self._wheel = self._build_wheel() if config.fast_path else None
 
     # ------------------------------------------------------------------
+    # Snapshot support (repro.fleet prefix reuse)
+    # ------------------------------------------------------------------
+
+    def __getstate__(self) -> dict:
+        """A Study serializes wholesale; only live wiring is rebuilt.
+
+        Everything that determines future behaviour — the platform log,
+        every driver's RNG position, the timing wheel's buckets, the
+        telemetry collected so far — is plain state and pickles as-is
+        (the tracer drops its clock closure and listeners itself, see
+        ``Tracer.__getstate__``). ``__setstate__`` re-binds the one
+        piece of wiring a fresh process needs: the obs tick source.
+        """
+        return dict(self.__dict__)
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self.obs.bind_tick_source(lambda: self.clock.now)
+
+    # ------------------------------------------------------------------
     # World construction
     # ------------------------------------------------------------------
 

@@ -1,0 +1,50 @@
+"""Deterministic multi-process replication: specs, snapshots, runner.
+
+The fleet layer turns one seeded :class:`~repro.core.study.Study` into
+many — seed sweeps, intervention arms, ablations — without giving up
+the repo's bit-reproducibility contract. See ``DESIGN.md`` §10 for the
+spec/merge ordering contract and the snapshot invalidation rule.
+"""
+
+from repro.fleet.arms import ARMS, resolve_arm
+from repro.fleet.runner import FleetRunner
+from repro.fleet.snapshot import (
+    SNAPSHOT_SCHEMA_VERSION,
+    SnapshotCache,
+    SnapshotError,
+    build_prefix,
+    config_digest,
+    restore_study,
+    snapshot_study,
+)
+from repro.fleet.spec import (
+    FLEET_SCHEMA_VERSION,
+    PREFIX_BUILD_WORLD,
+    PREFIX_SIGNATURES,
+    PREFIXES,
+    FleetResult,
+    ReplicaResult,
+    ReplicaSpec,
+    seed_sweep,
+)
+
+__all__ = [
+    "ARMS",
+    "FLEET_SCHEMA_VERSION",
+    "PREFIX_BUILD_WORLD",
+    "PREFIX_SIGNATURES",
+    "PREFIXES",
+    "SNAPSHOT_SCHEMA_VERSION",
+    "FleetResult",
+    "FleetRunner",
+    "ReplicaResult",
+    "ReplicaSpec",
+    "SnapshotCache",
+    "SnapshotError",
+    "build_prefix",
+    "config_digest",
+    "resolve_arm",
+    "restore_study",
+    "seed_sweep",
+    "snapshot_study",
+]

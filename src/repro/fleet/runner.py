@@ -1,0 +1,166 @@
+"""Deterministic process-pool replication runner.
+
+:class:`FleetRunner` fans a list of :class:`~repro.fleet.spec.ReplicaSpec`
+over shared-nothing worker processes and merges the results back in
+**spec order** — never completion order — so the merged payload and the
+merged trace are byte-identical for any worker count (enforced by
+``tests/test_fleet_runner.py``).
+
+How the fan-out preserves determinism:
+
+* Specs are grouped by ``(config digest, prefix)`` — replicas that can
+  share a prefix snapshot. Groups are dispatched *whole*: the snapshot
+  cache lives inside one worker's group, so no cross-process state is
+  shared and scheduling cannot change which replica pays the build.
+* Within a group the prefix is built once and **every** replica —
+  including the one whose turn triggered the build — starts from a
+  restore of the frozen envelope. A replica therefore sees the exact
+  same starting state whether prefix reuse is on or off, and whether it
+  ran first or last.
+* Workers are ``multiprocessing`` *spawn* processes, not forks: each
+  re-imports the code fresh, so no parent-process state (open handles,
+  module-level caches, RNG positions) leaks in to differ between the
+  in-process path and the pooled path.
+* Results carry their original spec index home and are re-slotted by
+  it; the merge is a pure function of the spec list.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import get_context
+from typing import Dict, List, Sequence, Tuple
+
+from repro.fleet.snapshot import (
+    SnapshotCache,
+    build_prefix,
+    config_digest,
+    restore_study,
+    snapshot_study,
+)
+from repro.fleet.spec import FleetResult, ReplicaResult, ReplicaSpec
+from repro.obs.trace import canonical_lines, label_replica, trace_lines
+
+#: one group = the (spec index, spec) pairs sharing a prefix snapshot
+_Group = List[Tuple[int, ReplicaSpec]]
+
+
+def _run_replica(spec: ReplicaSpec, study: object, prefix_reused: bool) -> ReplicaResult:
+    from repro.fleet.arms import resolve_arm
+
+    arm = resolve_arm(spec.arm)
+    payload = arm(study, spec.options())  # type: ignore[arg-type]
+    trace: List[dict] | None = None
+    if spec.config.observability:
+        meta = {
+            "replica": spec.name,
+            "arm": spec.arm,
+            "seed": spec.seed,
+            "prefix": spec.prefix,
+            "prefix_reused": prefix_reused,
+        }
+        lines = canonical_lines(trace_lines(study.obs, meta))  # type: ignore[attr-defined]
+        trace = label_replica(lines, spec.name)  # type: ignore[assignment]
+    return ReplicaResult(
+        name=spec.name,
+        arm=spec.arm,
+        seed=spec.seed,
+        prefix=spec.prefix,
+        payload=payload,
+        trace=trace,
+        prefix_reused=prefix_reused,
+    )
+
+
+def _run_group(
+    group: _Group, reuse_prefix: bool
+) -> Tuple[List[Tuple[int, ReplicaResult]], int, int]:
+    """Run one prefix-sharing group; returns (indexed results, builds, restores).
+
+    Module-level on purpose: spawn workers resolve it by qualified name,
+    and its arguments (specs + a bool) pickle without custom support.
+    """
+    results: List[Tuple[int, ReplicaResult]] = []
+    builds = 0
+    restores = 0
+    if reuse_prefix:
+        cache = SnapshotCache()
+        for index, spec in group:
+            study, hit = cache.get_or_build(spec.config, spec.prefix)
+            results.append((index, _run_replica(spec, study, prefix_reused=hit)))
+        builds, restores = cache.builds, cache.restores
+    else:
+        for index, spec in group:
+            # build fresh, but still round-trip through an envelope so
+            # the starting state is identical to the reuse path (a
+            # dump/load normalizes hash-table layout either way)
+            built = build_prefix(spec.config, spec.prefix)
+            study = restore_study(snapshot_study(built, spec.prefix))
+            builds += 1
+            restores += 1
+            results.append((index, _run_replica(spec, study, prefix_reused=False)))
+    return results, builds, restores
+
+
+def _group_specs(specs: Sequence[ReplicaSpec]) -> List[_Group]:
+    """Group specs by (config digest, prefix), first-appearance order."""
+    groups: Dict[Tuple[str, str], _Group] = {}
+    order: List[Tuple[str, str]] = []
+    for index, spec in enumerate(specs):
+        key = (config_digest(spec.config), spec.prefix)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append((index, spec))
+    return [groups[key] for key in order]
+
+
+class FleetRunner:
+    """Runs replica specs across ``workers`` spawn processes.
+
+    ``workers <= 1`` runs everything in-process through the *same*
+    group/snapshot code path, so the pooled and serial outputs are
+    byte-comparable by construction. ``reuse_prefix=False`` disables the
+    snapshot cache (every replica pays its own build) — used by the
+    bench scenario to price what the cache saves.
+    """
+
+    def __init__(self, workers: int = 1, reuse_prefix: bool = True) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self.reuse_prefix = reuse_prefix
+
+    def run(self, specs: Sequence[ReplicaSpec]) -> FleetResult:
+        specs = list(specs)
+        names = [spec.name for spec in specs]
+        if len(set(names)) != len(names):
+            raise ValueError("replica names must be unique within a fleet")
+        groups = _group_specs(specs)
+        indexed: List[Tuple[int, ReplicaResult]] = []
+        builds = 0
+        restores = 0
+        if self.workers <= 1 or len(groups) <= 1:
+            outcomes = [_run_group(group, self.reuse_prefix) for group in groups]
+        else:
+            context = get_context("spawn")
+            max_workers = min(self.workers, len(groups))
+            with ProcessPoolExecutor(max_workers=max_workers, mp_context=context) as pool:
+                futures = [
+                    pool.submit(_run_group, group, self.reuse_prefix) for group in groups
+                ]
+                outcomes = [future.result() for future in futures]
+        for group_results, group_builds, group_restores in outcomes:
+            indexed.extend(group_results)
+            builds += group_builds
+            restores += group_restores
+        indexed.sort(key=lambda pair: pair[0])
+        return FleetResult(
+            replicas=[result for _, result in indexed],
+            prefix_builds=builds,
+            prefix_restores=restores,
+            prefix_groups=len(groups),
+        )
+
+
+__all__ = ["FleetRunner"]

@@ -1,0 +1,165 @@
+"""Replica specifications and merged fleet results.
+
+A :class:`ReplicaSpec` names one independent study run: a config (which
+carries the seed), an *arm* (what to run once the shared prefix is in
+place — see :mod:`repro.fleet.arms`), and the prefix phase it resumes
+from. A fleet is just an ordered list of specs; the merge contract is
+that fleet output is a pure function of that list — results are always
+assembled in **spec order**, never completion order, so the merged
+payload and merged trace are byte-identical for any worker count.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.core.config import StudyConfig
+
+#: bumped whenever the merged fleet payload shape changes incompatibly
+FLEET_SCHEMA_VERSION = 1
+
+#: snapshot point: immediately after world construction
+PREFIX_BUILD_WORLD = "build-world"
+#: snapshot point: after the honeypot phase and signature learning
+PREFIX_SIGNATURES = "signatures"
+#: every sanctioned prefix phase, in pipeline order
+PREFIXES = (PREFIX_BUILD_WORLD, PREFIX_SIGNATURES)
+
+
+@dataclass(frozen=True)
+class ReplicaSpec:
+    """One replica: a config + named seed, an arm label, a prefix phase.
+
+    ``name`` must be unique within a fleet — it keys the replica's
+    segment in the merged trace. ``arm_options`` is an ordered tuple of
+    ``(key, value)`` pairs (kept hashable and picklable) passed to the
+    arm runner as a dict.
+    """
+
+    name: str
+    config: StudyConfig
+    arm: str = "standard"
+    prefix: str = PREFIX_SIGNATURES
+    arm_options: tuple[tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("replica name must be non-empty")
+        if self.prefix not in PREFIXES:
+            raise ValueError(f"unknown prefix {self.prefix!r} (known: {PREFIXES})")
+
+    @property
+    def seed(self) -> int:
+        return self.config.seed
+
+    def options(self) -> dict[str, object]:
+        return dict(self.arm_options)
+
+
+@dataclass
+class ReplicaResult:
+    """One replica's outcome: a JSON-able payload and its trace lines."""
+
+    name: str
+    arm: str
+    seed: int
+    prefix: str
+    payload: dict
+    #: canonical (wall-stripped) trace lines, each carrying a
+    #: ``replica`` label; None when the config ran with observability off
+    trace: list[dict] | None
+    #: whether this replica resumed from a prefix snapshot (False means
+    #: it paid the full build itself)
+    prefix_reused: bool
+
+
+@dataclass
+class FleetResult:
+    """Merged outcome of one fleet run, in spec order."""
+
+    replicas: list[ReplicaResult]
+    prefix_builds: int
+    prefix_restores: int
+    prefix_groups: int
+
+    @property
+    def build_cost_avoided_frac(self) -> float:
+        """Fraction of replicas that did not pay the prefix build."""
+        if not self.replicas:
+            return 0.0
+        return 1.0 - self.prefix_builds / len(self.replicas)
+
+    def merged_payload(self) -> dict:
+        """The spec-order merged payload (worker count independent)."""
+        return {
+            "schema_version": FLEET_SCHEMA_VERSION,
+            "replica_count": len(self.replicas),
+            "replicas": [
+                {
+                    "name": r.name,
+                    "arm": r.arm,
+                    "seed": r.seed,
+                    "prefix": r.prefix,
+                    "prefix_reused": r.prefix_reused,
+                    "payload": r.payload,
+                }
+                for r in self.replicas
+            ],
+            "snapshot": {
+                "prefix_groups": self.prefix_groups,
+                "prefix_builds": self.prefix_builds,
+                "prefix_restores": self.prefix_restores,
+                "build_cost_avoided_frac": self.build_cost_avoided_frac,
+            },
+        }
+
+    def merged_payload_text(self) -> str:
+        """Canonical JSON of the merged payload (byte-comparable)."""
+        return json.dumps(self.merged_payload(), sort_keys=True, indent=2) + "\n"
+
+    def merged_trace_lines(self) -> list[dict]:
+        """Spec-order concatenation of every replica's trace segment."""
+        merged: list[dict] = []
+        for replica in self.replicas:
+            if replica.trace is not None:
+                merged.extend(replica.trace)
+        return merged
+
+
+def seed_sweep(
+    base_config: StudyConfig,
+    seeds: list[int],
+    arm: str = "standard",
+    prefix: str = PREFIX_SIGNATURES,
+    arm_options: tuple[tuple[str, object], ...] = (),
+) -> list[ReplicaSpec]:
+    """Specs for the same config replicated across ``seeds``.
+
+    The canonical multi-seed fleet: one replica per seed, named
+    ``seed-<seed>/<arm>``.
+    """
+    from dataclasses import replace
+
+    return [
+        ReplicaSpec(
+            name=f"seed-{seed}/{arm}",
+            config=replace(base_config, seed=seed),
+            arm=arm,
+            prefix=prefix,
+            arm_options=arm_options,
+        )
+        for seed in seeds
+    ]
+
+
+__all__ = [
+    "FLEET_SCHEMA_VERSION",
+    "PREFIX_BUILD_WORLD",
+    "PREFIX_SIGNATURES",
+    "PREFIXES",
+    "FleetResult",
+    "ReplicaResult",
+    "ReplicaSpec",
+    "seed_sweep",
+]

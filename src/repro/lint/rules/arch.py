@@ -32,7 +32,8 @@ LAYER_RANK: dict[str, int] = {
     "analysis": 6,
     "interventions": 6,
     "core": 7,
-    "bench": 8,
+    "fleet": 8,
+    "bench": 9,
 }
 
 #: rank assigned to anything not in the table (top-level modules such as
@@ -66,7 +67,8 @@ class LayeringRule(Rule):
     summary: ClassVar[str] = (
         "cross-layer imports must point strictly downward (util/netsim -> "
         "obs -> platform -> behavior -> aas -> honeypot|detection -> "
-        "analysis|interventions -> core); the substrate never sees its observers"
+        "analysis|interventions -> core -> fleet -> bench); the substrate "
+        "never sees its observers"
     )
 
     def check(self, ctx: ModuleContext) -> Iterator[Finding]:
@@ -140,4 +142,51 @@ class StarImportRule(Rule):
                         )
 
 
-ARCH_RULES: tuple[type[Rule], ...] = (LayeringRule, ServiceInternalsRule, StarImportRule)
+class ProcessMachineryRule(Rule):
+    """ARCH004 — process fan-out and serialization live in fleet only."""
+
+    rule_id: ClassVar[str] = "ARCH004"
+    summary: ClassVar[str] = (
+        "multiprocessing / concurrent.futures / pickle imports are "
+        "confined to repro/fleet/; everywhere else they smuggle in "
+        "process topology or serialized state the determinism contract "
+        "can't see (fleet owns the snapshot envelope and the spawn pool)"
+    )
+
+    _banned_roots = frozenset({"multiprocessing", "pickle", "concurrent"})
+
+    def _offends(self, module: str) -> bool:
+        return module.split(".")[0] in self._banned_roots
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if ctx.module is None or not ctx.module.startswith("repro"):
+            return
+        if ctx.module == "repro.fleet" or ctx.module.startswith("repro.fleet."):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if self._offends(alias.name):
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"`import {alias.name}` outside repro/fleet/; "
+                            "process pools and pickled state belong to the "
+                            "fleet layer",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0 and node.module is not None and self._offends(node.module):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"`from {node.module} import ...` outside repro/fleet/; "
+                        "process pools and pickled state belong to the fleet layer",
+                    )
+
+
+ARCH_RULES: tuple[type[Rule], ...] = (
+    LayeringRule,
+    ServiceInternalsRule,
+    StarImportRule,
+    ProcessMachineryRule,
+)

@@ -42,7 +42,14 @@ from repro.obs.metrics import (
 from repro.obs.report import ConsoleReporter
 from repro.obs.schema import TRACE_SCHEMA_VERSION, validate_snapshot, validate_trace
 from repro.obs.spans import Span, SpanListener, Tracer
-from repro.obs.trace import canonical_lines, read_trace_lines, trace_lines, write_trace
+from repro.obs.trace import (
+    canonical_lines,
+    label_replica,
+    read_trace_lines,
+    split_segments,
+    trace_lines,
+    write_trace,
+)
 
 __all__ = [
     "NULL_OBS",
@@ -58,7 +65,9 @@ __all__ = [
     "SpanListener",
     "Tracer",
     "canonical_lines",
+    "label_replica",
     "read_trace_lines",
+    "split_segments",
     "trace_lines",
     "validate_snapshot",
     "validate_trace",

@@ -2,8 +2,10 @@
 
 Subcommands:
 
-* ``summarize TRACE`` — top spans by total tick-span, counter/gauge
-  tables, histogram percentile rows.
+* ``summarize TRACE [TRACE ...]`` — top spans by total tick-span,
+  counter/gauge tables, histogram percentile rows. Several traces (or
+  one fleet-merged multi-segment file) are merged: counters sum, gauges
+  average, histograms combine count/min/max.
 * ``diff OLD NEW`` — compare the instrument coverage and span names of
   two traces; exits 1 when NEW *lost* coverage (a span name or metric
   series present in OLD is gone), the regression CI should catch.
@@ -55,6 +57,63 @@ def _metric_entries(lines: Sequence[object]) -> List[Dict[str, object]]:
     return [entry for entry in metrics if isinstance(entry, dict)]
 
 
+def _all_snapshot_entries(lines: Sequence[object]) -> List[List[Dict[str, object]]]:
+    """Metric entries of *every* snapshot line (one list per segment)."""
+    collected: List[List[Dict[str, object]]] = []
+    for line in lines:
+        if isinstance(line, dict) and line.get("kind") == "snapshot":
+            snapshot = line.get("snapshot")
+            if isinstance(snapshot, dict) and isinstance(snapshot.get("metrics"), list):
+                collected.append(
+                    [entry for entry in snapshot["metrics"] if isinstance(entry, dict)]
+                )
+    return collected
+
+
+def _merge_entries(snapshots: List[List[Dict[str, object]]]) -> List[Dict[str, object]]:
+    """Merge per-replica snapshots: counters sum, gauges average,
+    histograms combine count/sum/min/max (per-segment percentiles are
+    not mergeable and are dropped).
+
+    A single snapshot passes through untouched, so summarizing one
+    ordinary trace prints exactly what it always has.
+    """
+    if len(snapshots) == 1:
+        return snapshots[0]
+    merged: Dict[_SeriesKey, Dict[str, object]] = {}
+    gauge_counts: Dict[_SeriesKey, int] = defaultdict(int)
+    for entries in snapshots:
+        for entry in entries:
+            key = _series_key(entry)
+            kind = key[2]
+            slot = merged.get(key)
+            if slot is None:
+                slot = {k: v for k, v in entry.items() if k != "percentiles"}
+                merged[key] = slot
+                if kind == "gauge":
+                    gauge_counts[key] = 1
+                continue
+            if kind == "counter":
+                slot["value"] = (slot.get("value") or 0) + (entry.get("value") or 0)
+            elif kind == "gauge":
+                slot["value"] = (slot.get("value") or 0) + (entry.get("value") or 0)
+                gauge_counts[key] += 1
+            else:
+                slot["count"] = (slot.get("count") or 0) + (entry.get("count") or 0)
+                slot["sum"] = (slot.get("sum") or 0) + (entry.get("sum") or 0)
+                for pick, field_ in ((min, "min"), (max, "max")):
+                    ours, theirs = slot.get(field_), entry.get(field_)
+                    if theirs is None:
+                        continue
+                    slot[field_] = theirs if ours is None else pick(ours, theirs)
+    for key, count in gauge_counts.items():
+        if count > 1:
+            value = merged[key].get("value")
+            assert isinstance(value, (int, float))
+            merged[key]["value"] = value / count
+    return [merged[key] for key in sorted(merged)]
+
+
 def _series_key(entry: Dict[str, object]) -> _SeriesKey:
     labels = entry.get("labels")
     label_items = tuple(sorted(labels.items())) if isinstance(labels, dict) else ()
@@ -73,11 +132,22 @@ def _fmt_number(value: object) -> str:
 
 
 def cmd_summarize(args: argparse.Namespace) -> int:
-    lines = _load(args.trace)
-    spans = _span_lines(lines)
-    entries = _metric_entries(lines)
+    spans: List[Dict[str, object]] = []
+    snapshots: List[List[Dict[str, object]]] = []
+    for path in args.traces:
+        lines = _load(path)
+        spans.extend(_span_lines(lines))
+        snapshots.extend(_all_snapshot_entries(lines))
+    entries = _merge_entries(snapshots)
 
-    sections: List[str] = [f"Trace: {args.trace}  ({len(spans)} spans)"]
+    if len(args.traces) == 1 and len(snapshots) == 1:
+        title = f"Trace: {args.traces[0]}  ({len(spans)} spans)"
+    else:
+        title = (
+            f"Merged {len(snapshots)} trace segment(s) from "
+            f"{len(args.traces)} file(s)  ({len(spans)} spans)"
+        )
+    sections: List[str] = [title]
 
     by_name: Dict[str, List[int]] = defaultdict(list)
     for span in spans:
@@ -120,6 +190,9 @@ def cmd_summarize(args: argparse.Namespace) -> int:
                 f"{key}={_fmt_number(value)}" for key, value in sorted(percentiles.items())
             )
             stats += f"  min={_fmt_number(entry.get('min'))}  max={_fmt_number(entry.get('max'))}"
+        elif entry.get("count"):
+            # merged histograms: percentiles are per-segment and dropped
+            stats = f"min={_fmt_number(entry.get('min'))}  max={_fmt_number(entry.get('max'))}"
         else:
             stats = "(empty)"
         histogram_rows.append(
@@ -207,7 +280,11 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     summarize = sub.add_parser("summarize", help="report top spans, counters, histograms")
-    summarize.add_argument("trace", help="path to a JSONL trace")
+    summarize.add_argument(
+        "traces",
+        nargs="+",
+        help="JSONL trace path(s); several (or a fleet-merged file) are merged",
+    )
     summarize.add_argument("--top", type=int, default=20, help="span rows to show (default 20)")
 
     diff = sub.add_parser("diff", help="compare coverage/values of two traces")

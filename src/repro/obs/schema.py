@@ -103,31 +103,31 @@ def validate_snapshot(payload: object) -> List[str]:
     return errors
 
 
-def validate_trace(lines: Sequence[object]) -> List[str]:
-    """Validate parsed JSONL trace lines; returns error strings (empty = ok)."""
-    errors: List[str] = []
-    if not _check(len(lines) >= 2, "trace: expected at least a header and a snapshot line",
-                  errors):
-        return errors
+def _validate_segment(lines: Sequence[object], label: str, errors: List[str]) -> None:
+    """Validate one header..snapshot segment, prefixing errors with ``label``."""
+    if not _check(len(lines) >= 2,
+                  f"{label}: expected at least a header and a snapshot line", errors):
+        return
 
     header = lines[0]
     if _check(isinstance(header, dict) and header.get("kind") == "header",
-              "trace[0]: first line must be the header", errors):
+              f"{label}[0]: first line must be the header", errors):
         assert isinstance(header, dict)
         _check(header.get("schema_version") == TRACE_SCHEMA_VERSION,
-               f"trace[0]: schema_version must be {TRACE_SCHEMA_VERSION}", errors)
-        _check(isinstance(header.get("meta"), dict), "trace[0]: meta must be an object", errors)
+               f"{label}[0]: schema_version must be {TRACE_SCHEMA_VERSION}", errors)
+        _check(isinstance(header.get("meta"), dict), f"{label}[0]: meta must be an object",
+               errors)
 
     tail = lines[-1]
     if _check(isinstance(tail, dict) and tail.get("kind") == "snapshot",
-              "trace[-1]: last line must be the metrics snapshot", errors):
+              f"{label}[-1]: last line must be the metrics snapshot", errors):
         assert isinstance(tail, dict)
         for error in validate_snapshot(tail.get("snapshot")):
-            errors.append(f"trace[-1]: {error}")
+            errors.append(f"{label}[-1]: {error}")
 
     seen_ids = set()
     for index, line in enumerate(lines[1:-1], start=1):
-        where = f"trace[{index}]"
+        where = f"{label}[{index}]"
         if not _check(isinstance(line, dict) and line.get("kind") == "span",
                       f"{where}: interior lines must be spans", errors):
             continue
@@ -157,4 +157,35 @@ def validate_trace(lines: Sequence[object]) -> List[str]:
             _check(end_tick >= start_tick, f"{where}: end_tick must be >= start_tick", errors)
         if "wall_s" in line:
             _check(_is_number(line["wall_s"]), f"{where}: wall_s must be a number", errors)
+
+
+def _split_segments(lines: Sequence[object]) -> List[List[object]]:
+    # local copy of repro.obs.trace.split_segments — trace.py imports
+    # this module, so importing it back would be a cycle
+    segments: List[List[object]] = []
+    for line in lines:
+        if isinstance(line, dict) and line.get("kind") == "header":
+            segments.append([line])
+        elif segments:
+            segments[-1].append(line)
+        else:
+            segments.append([line])
+    return segments
+
+
+def validate_trace(lines: Sequence[object]) -> List[str]:
+    """Validate parsed JSONL trace lines; returns error strings (empty = ok).
+
+    A single-run trace is one header..snapshot segment. A fleet-merged
+    trace (:meth:`repro.fleet.spec.FleetResult.merged_trace_lines`) is
+    several such segments concatenated in replica order; each segment is
+    validated independently, with errors labelled ``trace.segment[i]``.
+    """
+    errors: List[str] = []
+    segments = _split_segments(lines)
+    if len(segments) <= 1:
+        _validate_segment(list(lines), "trace", errors)
+        return errors
+    for index, segment in enumerate(segments):
+        _validate_segment(segment, f"trace.segment[{index}]", errors)
     return errors

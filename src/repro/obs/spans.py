@@ -104,6 +104,28 @@ class Tracer:
         """Late-bind the simulation clock (the Study owns the clock)."""
         self._tick_source = tick_source
 
+    # -- snapshot support ----------------------------------------------
+
+    def __getstate__(self) -> Dict[str, object]:
+        """Span history travels through a snapshot; wiring does not.
+
+        The tick source is a closure over the owning study's clock and
+        the listeners hold live I/O handles — neither serializes, and
+        both are per-process wiring rather than trace state. Whoever
+        restores a tracer must call :meth:`bind_tick_source` again
+        (``Study.__setstate__`` does).
+        """
+        state = dict(self.__dict__)
+        state["_tick_source"] = None
+        state["_wall_source"] = None
+        state["_listeners"] = []
+        return state
+
+    def __setstate__(self, state: Dict[str, object]) -> None:
+        self.__dict__.update(state)
+        if self._tick_source is None:  # type: ignore[redundant-expr]
+            self._tick_source = _zero_tick
+
     def add_listener(self, listener: SpanListener) -> None:
         self._listeners.append(listener)
 

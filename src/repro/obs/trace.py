@@ -68,6 +68,45 @@ def read_trace_lines(path: Union[str, Path]) -> List[object]:
     return lines
 
 
+def label_replica(lines: Sequence[object], replica: str) -> List[object]:
+    """Copy of ``lines`` with a ``replica`` label stamped on every record.
+
+    Fleet runs (:mod:`repro.fleet`) concatenate one trace segment per
+    replica into a single merged file; the label is what keeps each
+    segment attributable after the merge, and what ``split_segments``
+    groups by when summarizing.
+    """
+    labeled: List[object] = []
+    for line in lines:
+        if isinstance(line, dict):
+            stamped = dict(line)
+            stamped["replica"] = replica
+            labeled.append(stamped)
+        else:
+            labeled.append(line)
+    return labeled
+
+
+def split_segments(lines: Sequence[object]) -> List[List[object]]:
+    """Split a (possibly merged) trace into per-segment line lists.
+
+    A segment starts at each ``header`` record. A single-run trace
+    yields one segment; a fleet-merged trace yields one per replica, in
+    merge (= spec) order. Lines before the first header — a malformed
+    trace — land in a leading headerless segment so validators can
+    reject them explicitly.
+    """
+    segments: List[List[object]] = []
+    for line in lines:
+        if isinstance(line, dict) and line.get("kind") == "header":
+            segments.append([line])
+        elif segments:
+            segments[-1].append(line)
+        else:
+            segments.append([line])
+    return segments
+
+
 def canonical_lines(lines: Sequence[object]) -> List[object]:
     """Copy of ``lines`` with the waived wall-clock fields removed.
 

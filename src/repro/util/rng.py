@@ -60,3 +60,28 @@ class SeedSequenceFactory:
     def spawn(self, label: str) -> "SeedSequenceFactory":
         """Derive a child factory whose labels live in a sub-namespace."""
         return SeedSequenceFactory(self.seed ^ _label_entropy(label))
+
+    # -- explicit state capture (the repro.fleet snapshot contract) -----
+
+    def state_dict(self) -> dict[str, dict]:
+        """Every memoized generator's bit-generator state, by label.
+
+        The values are the plain-python dicts numpy exposes via
+        ``Generator.bit_generator.state`` — JSON-serializable, so a
+        snapshot envelope can record (and later verify) the exact RNG
+        position without trusting opaque pickle bytes.
+        """
+        return {
+            label: dict(self._cache[label].bit_generator.state)
+            for label in sorted(self._cache)
+        }
+
+    def load_state_dict(self, states: dict[str, dict]) -> None:
+        """Restore memoized generators to the captured positions.
+
+        Labels absent from ``states`` are left untouched; labels not yet
+        memoized are derived first (so their stream type matches) and
+        then fast-forwarded to the recorded state.
+        """
+        for label in sorted(states):
+            self.get(label).bit_generator.state = states[label]

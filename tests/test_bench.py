@@ -28,10 +28,14 @@ def _valid_payload() -> dict:
                     "best_s": 0.5,
                     "mean_s": 0.6,
                     "median_s": 0.55,
+                    "stdev_s": 0.05,
+                    "cv": 0.083,
                 },
             }
         ],
-        "derived": {"speedup": 2.0},
+        "derived": {
+            "speedup_fast_vs_naive": {"value": 2.0, "noise_cv": 0.083, "noise_floor": False}
+        },
     }
 
 
@@ -73,6 +77,17 @@ class TestHarness:
         with pytest.raises(ValueError):
             summarize([], warmup=0)
 
+    def test_summarize_dispersion_fields(self) -> None:
+        stats = summarize([1.0, 2.0, 3.0], warmup=0)
+        assert stats.stdev_s == pytest.approx(1.0)  # sample stdev, n-1 denominator
+        assert stats.cv == pytest.approx(0.5)
+        assert stats.as_dict()["stdev_s"] == stats.stdev_s
+        assert stats.as_dict()["cv"] == stats.cv
+
+    def test_single_sample_has_zero_dispersion(self) -> None:
+        stats = summarize([0.7], warmup=0)
+        assert (stats.stdev_s, stats.cv) == (0.0, 0.0)
+
 
 class TestSchema:
     def test_valid_payload_passes(self) -> None:
@@ -105,6 +120,28 @@ class TestSchema:
 
     def test_non_object_rejected(self) -> None:
         assert validate_payload([1, 2, 3]) != []
+
+    def test_missing_dispersion_fields_rejected(self) -> None:
+        for field in ("stdev_s", "cv"):
+            payload = _valid_payload()
+            del payload["results"][0]["stats"][field]
+            assert any(field in e for e in validate_payload(payload))
+
+    def test_bare_speedup_number_rejected(self) -> None:
+        payload = _valid_payload()
+        payload["derived"]["speedup_fast_vs_naive"] = 2.0
+        assert any("speedup_fast_vs_naive" in e for e in validate_payload(payload))
+
+    def test_speedup_without_noise_floor_rejected(self) -> None:
+        payload = _valid_payload()
+        del payload["derived"]["speedup_fast_vs_naive"]["noise_floor"]
+        assert any("noise_floor" in e for e in validate_payload(payload))
+
+    def test_non_speedup_derived_entries_are_free_form(self) -> None:
+        payload = _valid_payload()
+        payload["derived"]["snapshot"] = {"prefix_builds": 2}
+        payload["derived"]["replica_payloads_match"] = True
+        assert validate_payload(payload) == []
 
     def test_bad_mode_rejected(self) -> None:
         payload = _valid_payload()

@@ -105,3 +105,39 @@ class TestRunStudy:
         # CLI traces carry the opt-in wall-clock durations
         spans = [line for line in lines if line.get("kind") == "span"]
         assert spans and all("wall_s" in span for span in spans)
+
+
+class TestRunStudyFleet:
+    def test_seeds_run_a_fleet_matching_the_serial_report(self, tmp_path):
+        from repro.obs import read_trace_lines, split_segments, validate_trace
+
+        serial = tmp_path / "serial.txt"
+        assert main(
+            ["run-study", "--preset", "tiny", "--seed", "5",
+             "--measurement-days", "2", "--output", str(serial)]
+        ) == 0
+
+        merged = tmp_path / "fleet.txt"
+        trace = tmp_path / "fleet.jsonl"
+        assert main(
+            ["run-study", "--preset", "tiny", "--seeds", "5,6",
+             "--measurement-days", "2", "--output", str(merged),
+             "--trace", str(trace)]
+        ) == 0
+
+        text = merged.read_text()
+        assert "=== seed-5/report (seed 5) ===" in text
+        assert "=== seed-6/report (seed 6) ===" in text
+        # a fleet replica's report is byte-identical to the serial run
+        section = text.split("=== seed-6/report")[0]
+        assert serial.read_text().strip() in section
+
+        lines = read_trace_lines(trace)
+        assert validate_trace(lines) == []
+        segments = split_segments(lines)
+        assert [seg[0]["replica"] for seg in segments] == ["seed-5/report", "seed-6/report"]
+
+    def test_seeds_validation(self, capsys):
+        for bad in ("", "1,two", "3,3"):
+            with pytest.raises(SystemExit):
+                main(["run-study", "--preset", "tiny", "--seeds", bad or ","])

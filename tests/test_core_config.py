@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.config import ServicePlans, StudyConfig
+from repro.core.config import ServicePlans, StudyConfig, resolve_workers
 
 
 class TestPresets:
@@ -55,3 +55,29 @@ class TestPresets:
         plans = ServicePlans(followersgratis=None)
         config = StudyConfig(plans=plans)
         assert config.plans.followersgratis is None
+
+
+class TestResolveWorkers:
+    def test_cli_value_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "8")
+        assert resolve_workers(3) == 3
+
+    def test_env_beats_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        assert resolve_workers(None, default=4) == 2
+
+    def test_default_when_nothing_set(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert resolve_workers(None) == 1
+        assert resolve_workers(None, default=4) == 4
+
+    def test_invalid_values_rejected(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        with pytest.raises(ValueError):
+            resolve_workers(0)
+        monkeypatch.setenv("REPRO_WORKERS", "zero")
+        with pytest.raises(ValueError):
+            resolve_workers(None)
+        monkeypatch.setenv("REPRO_WORKERS", "-1")
+        with pytest.raises(ValueError):
+            resolve_workers(None)

@@ -1,0 +1,189 @@
+"""Fleet determinism: worker count must never touch the bytes.
+
+The runner's contract (DESIGN.md §10): the merged payload and merged
+trace are a pure function of the spec list — identical for ``workers``
+1, 2, and 4, and the prefix-reuse cache changes wall-clock only, never
+replica payloads. The expensive fleets are built once per module and
+shared across the assertions.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.config import StudyConfig
+from repro.fleet import (
+    FLEET_SCHEMA_VERSION,
+    FleetResult,
+    FleetRunner,
+    ReplicaResult,
+    ReplicaSpec,
+    resolve_arm,
+    seed_sweep,
+)
+from repro.obs import split_segments
+from repro.obs.schema import validate_trace
+
+SEEDS = (21, 22)
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _specs() -> list[ReplicaSpec]:
+    """Two seeds x two arms; each seed's arms share one prefix group."""
+    specs = []
+    for seed in SEEDS:
+        config = StudyConfig.tiny(seed=seed)
+        specs.append(
+            ReplicaSpec(
+                name=f"seed-{seed}/standard",
+                config=config,
+                arm="standard",
+                arm_options=(("measurement_days", 1),),
+            )
+        )
+        specs.append(
+            ReplicaSpec(
+                name=f"seed-{seed}/narrow",
+                config=config,
+                arm="narrow",
+                arm_options=(
+                    ("measurement_days", 0),
+                    ("narrow_days", 1),
+                    ("calibration_days", 1),
+                ),
+            )
+        )
+    return specs
+
+
+@pytest.fixture(scope="module")
+def fleets() -> dict[int, FleetResult]:
+    return {workers: FleetRunner(workers=workers).run(_specs()) for workers in WORKER_COUNTS}
+
+
+@pytest.fixture(scope="module")
+def serial_no_reuse() -> FleetResult:
+    return FleetRunner(workers=1, reuse_prefix=False).run(_specs())
+
+
+class TestWorkerCountInvariance:
+    def test_merged_payload_bytes_identical_across_worker_counts(self, fleets) -> None:
+        texts = {workers: fleet.merged_payload_text() for workers, fleet in fleets.items()}
+        assert texts[2] == texts[1]
+        assert texts[4] == texts[1]
+
+    def test_merged_trace_bytes_identical_across_worker_counts(self, fleets) -> None:
+        dumps = {
+            workers: json.dumps(fleet.merged_trace_lines(), sort_keys=True)
+            for workers, fleet in fleets.items()
+        }
+        assert dumps[2] == dumps[1]
+        assert dumps[4] == dumps[1]
+
+
+class TestMergeContract:
+    def test_replicas_come_back_in_spec_order(self, fleets) -> None:
+        expected = [spec.name for spec in _specs()]
+        for fleet in fleets.values():
+            assert [replica.name for replica in fleet.replicas] == expected
+
+    def test_prefix_sharing_stats(self, fleets) -> None:
+        for fleet in fleets.values():
+            assert fleet.prefix_groups == len(SEEDS)
+            assert fleet.prefix_builds == len(SEEDS)
+            assert fleet.prefix_restores == len(fleet.replicas)
+            assert fleet.build_cost_avoided_frac == 0.5
+
+    def test_first_replica_of_each_group_pays_the_build(self, fleets) -> None:
+        for fleet in fleets.values():
+            by_arm = {replica.arm: replica.prefix_reused for replica in fleet.replicas}
+            assert by_arm == {"standard": False, "narrow": True}
+
+    def test_merged_trace_validates_with_one_segment_per_replica(self, fleets) -> None:
+        lines = fleets[1].merged_trace_lines()
+        assert validate_trace(lines) == []
+        segments = split_segments(lines)
+        assert len(segments) == len(fleets[1].replicas)
+        assert all("replica" in line for line in lines)
+        labels = [segment[0]["replica"] for segment in segments]
+        assert labels == [spec.name for spec in _specs()]
+
+
+class TestPrefixReuseEquivalence:
+    def test_reuse_changes_wall_clock_only_never_payloads(self, fleets, serial_no_reuse) -> None:
+        reused = fleets[1]
+        assert serial_no_reuse.prefix_builds == len(serial_no_reuse.replicas)
+        assert all(not replica.prefix_reused for replica in serial_no_reuse.replicas)
+        # spans are identical too, once the only legitimate delta — the
+        # prefix_reused header flag — is ignored
+        def strip(lines):
+            stripped = []
+            for line in lines:
+                line = dict(line)
+                meta = line.get("meta")
+                if isinstance(meta, dict):
+                    line["meta"] = {k: v for k, v in meta.items() if k != "prefix_reused"}
+                stripped.append(line)
+            return stripped
+
+        for with_cache, without_cache in zip(reused.replicas, serial_no_reuse.replicas):
+            assert with_cache.payload == without_cache.payload
+            assert with_cache.trace is not None
+            assert strip(with_cache.trace) == strip(without_cache.trace)
+
+
+class TestRunnerValidation:
+    def test_duplicate_replica_names_rejected(self) -> None:
+        spec = ReplicaSpec(name="twin", config=StudyConfig.tiny(seed=21))
+        with pytest.raises(ValueError, match="unique"):
+            FleetRunner().run([spec, spec])
+
+    def test_zero_workers_rejected(self) -> None:
+        with pytest.raises(ValueError, match="workers"):
+            FleetRunner(workers=0)
+
+    def test_unknown_arm_rejected(self) -> None:
+        with pytest.raises(ValueError, match="unknown arm"):
+            resolve_arm("tertiary")
+
+    def test_unknown_prefix_rejected(self) -> None:
+        with pytest.raises(ValueError, match="unknown prefix"):
+            ReplicaSpec(name="x", config=StudyConfig.tiny(), prefix="after-lunch")
+
+    def test_empty_name_rejected(self) -> None:
+        with pytest.raises(ValueError, match="non-empty"):
+            ReplicaSpec(name="", config=StudyConfig.tiny())
+
+
+class TestSpecHelpers:
+    def test_seed_sweep_names_and_reseeds(self) -> None:
+        base = StudyConfig.tiny(seed=1)
+        specs = seed_sweep(base, [7, 8, 9], arm="report")
+        assert [spec.name for spec in specs] == [
+            "seed-7/report",
+            "seed-8/report",
+            "seed-9/report",
+        ]
+        assert [spec.seed for spec in specs] == [7, 8, 9]
+        assert all(spec.config.population == base.population for spec in specs)
+
+    def test_merged_payload_shape_is_worker_independent(self) -> None:
+        replicas = [
+            ReplicaResult(
+                name=f"r{i}", arm="standard", seed=i, prefix="signatures",
+                payload={"n": i}, trace=None, prefix_reused=bool(i),
+            )
+            for i in range(3)
+        ]
+        result = FleetResult(
+            replicas=replicas, prefix_builds=1, prefix_restores=3, prefix_groups=1
+        )
+        merged = result.merged_payload()
+        assert merged["schema_version"] == FLEET_SCHEMA_VERSION
+        assert merged["replica_count"] == 3
+        assert [entry["name"] for entry in merged["replicas"]] == ["r0", "r1", "r2"]
+        assert "workers" not in json.dumps(merged)
+        assert result.build_cost_avoided_frac == pytest.approx(2 / 3)
+        assert result.merged_trace_lines() == []

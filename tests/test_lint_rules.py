@@ -201,6 +201,36 @@ class TestArchitectureRules:
         snippet = "from repro.platform import InstagramPlatform\n"
         assert fired(snippet, path="src/repro/aas/sample.py") == []
 
+    def test_arch004_process_machinery_confined_to_fleet(self):
+        assert "ARCH004" in fired("import multiprocessing\n", path="src/repro/core/sample.py")
+        assert "ARCH004" in fired("import pickle\n", path="src/repro/platform/sample.py")
+        assert "ARCH004" in fired(
+            "from concurrent.futures import ProcessPoolExecutor\n",
+            path="src/repro/bench/sample.py",
+        )
+        assert "ARCH004" in fired(
+            "from multiprocessing.pool import Pool\n", path="src/repro/obs/sample.py"
+        )
+
+    def test_arch004_fleet_owns_the_machinery(self):
+        snippet = """
+            import pickle
+            from concurrent.futures import ProcessPoolExecutor
+            from multiprocessing import get_context
+        """
+        assert fired(snippet, path="src/repro/fleet/runner.py") == []
+        assert fired(snippet, path="src/repro/fleet/sample.py") == []
+
+    def test_arch004_silent_on_lookalike_names_and_outside_the_package(self):
+        assert "ARCH004" not in fired("import pickleball\n", path="src/repro/core/sample.py")
+        assert "ARCH004" not in fired("import multiprocessing\n", path="tests/test_sample.py")
+
+    def test_arch004_suppressed(self):
+        snippet = (
+            "import pickle  # repro-lint: ignore[ARCH004] -- test waiver\n"
+        )
+        assert fired(snippet, path="src/repro/core/sample.py") == []
+
 
 class TestApiRules:
     def test_api001_observer_layers_must_not_mint_generators(self):

@@ -11,7 +11,9 @@ from repro.obs import (
     TRACE_SCHEMA_VERSION,
     Observability,
     canonical_lines,
+    label_replica,
     read_trace_lines,
+    split_segments,
     validate_trace,
     write_trace,
 )
@@ -80,6 +82,60 @@ class TestTraceSink:
         backwards = json.loads(json.dumps(good))
         backwards[1]["end_tick"] = backwards[1]["start_tick"] - 1
         assert any("end_tick" in error for error in validate_trace(backwards))
+
+
+class TestMergedTraces:
+    """Fleet traces are per-replica segments concatenated in spec order."""
+
+    def _merged(self) -> list:
+        first = label_replica(_sample_obs().trace_lines(meta={"seed": 7}), "seed-7/a")
+        second = label_replica(_sample_obs().trace_lines(meta={"seed": 8}), "seed-8/a")
+        return first + second
+
+    def test_label_replica_stamps_every_line(self) -> None:
+        lines = label_replica(_sample_obs().trace_lines(), "seed-7/a")
+        assert all(line["replica"] == "seed-7/a" for line in lines)
+
+    def test_split_segments_at_each_header(self) -> None:
+        merged = self._merged()
+        segments = split_segments(merged)
+        assert len(segments) == 2
+        assert [seg[0]["replica"] for seg in segments] == ["seed-7/a", "seed-8/a"]
+        assert sum(len(seg) for seg in segments) == len(merged)
+
+    def test_multi_segment_trace_validates(self) -> None:
+        assert validate_trace(self._merged()) == []
+
+    def test_multi_segment_errors_name_the_segment(self) -> None:
+        merged = self._merged()
+        broken = merged[: len(merged) // 2 + 1] + merged[len(merged) // 2 + 1 : -1]
+        errors = validate_trace(broken)
+        assert errors
+        assert all(error.startswith("trace.segment[1]") for error in errors)
+
+    def test_summarize_merges_segments_across_files(
+        self, tmp_path: Path, capsys: pytest.CaptureFixture
+    ) -> None:
+        paths = []
+        for index, seed in enumerate((7, 8)):
+            path = tmp_path / f"trace-{index}.jsonl"
+            path.write_text(
+                "\n".join(
+                    json.dumps(line)
+                    for line in label_replica(
+                        _sample_obs().trace_lines(meta={"seed": seed}), f"seed-{seed}/a"
+                    )
+                )
+                + "\n",
+                encoding="utf-8",
+            )
+            paths.append(str(path))
+        assert main(["summarize", *paths]) == 0
+        out = capsys.readouterr().out
+        assert "Merged 2 trace segment(s) from 2 file(s)  (6 spans)" in out
+        # counters sum across segments: 10 per segment -> 20 merged
+        assert "platform.actionlog.window_query{path=index}" in out
+        assert "20" in out
 
 
 class TestCli:
