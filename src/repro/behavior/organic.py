@@ -19,6 +19,7 @@ verify it.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass
 
 import numpy as np
@@ -74,6 +75,10 @@ class OrganicActivityDriver:
         self._actor_cumulative = np.cumsum(rates)
         if self._actor_cumulative[-1] > 0:
             self._actor_cumulative = self._actor_cumulative / self._actor_cumulative[-1]
+        # scalar sampling runs on bisect over a plain list: element-for-
+        # element identical to np.searchsorted(side='left') on the same
+        # floats (test-pinned), minus the per-call numpy dispatch cost
+        self._actor_cumulative_list: list[float] = self._actor_cumulative.tolist()
         # Observability counters.
         self.reciprocal_actions = 0
         self.background_actions = 0
@@ -191,21 +196,25 @@ class OrganicActivityDriver:
         users do not spontaneously engage with the fresh, unknown
         accounts they just followed back.
         """
-        # sorted: the follow set's hash-table iteration order is a
-        # function of its mutation history, which a snapshot/restore
-        # cycle (repro.fleet) does not preserve — the RNG-indexed pick
-        # below must see a reproducible ordering either way
+        # following_view is sorted by contract: the follow set's
+        # hash-table iteration order is a function of its mutation
+        # history, which a snapshot/restore cycle (repro.fleet) does not
+        # preserve — the RNG-indexed pick below must see a reproducible
+        # ordering either way. The columnar graph serves the view from
+        # its cached sorted array (no copy); the reference graph sorts a
+        # fresh copy, matching the old frozenset+sorted() behaviour.
+        profiles = self.population.profiles
         following = [
             account
-            for account in sorted(self.platform.graph.following(actor))
-            if account in self.population.profiles
+            for account in self.platform.graph.following_view(actor)
+            if account in profiles
         ]
         if following and self._rng.random() < 0.7:
             return following[int(self._rng.integers(0, len(following)))]
         # Discovery: sample organically popular accounts.
         for _ in range(4):
             draw = self._rng.random()
-            index = int(np.searchsorted(self._actor_cumulative, draw))
+            index = bisect_left(self._actor_cumulative_list, draw)
             index = min(index, len(self._actor_ids) - 1)
             candidate = self._actor_ids[index]
             if candidate == actor:
@@ -216,10 +225,11 @@ class OrganicActivityDriver:
 
     def _run_background(self) -> None:
         event_count = int(self._rng.poisson(self._hourly_rate_total))
+        cumulative = self._actor_cumulative_list
+        last = len(self._actor_ids) - 1
         for _ in range(event_count):
             draw = self._rng.random()
-            index = int(np.searchsorted(self._actor_cumulative, draw))
-            index = min(index, len(self._actor_ids) - 1)
+            index = min(bisect_left(cumulative, draw), last)
             actor = self._actor_ids[index]
             if not self.platform.account_exists(actor):
                 continue

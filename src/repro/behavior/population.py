@@ -190,6 +190,12 @@ def _wire_initial_graph(
     popularity = rng.lognormal(mean=0.0, sigma=config.popularity_sigma, size=n)
     cumulative = np.cumsum(popularity)
     cumulative /= cumulative[-1]
+    # candidate ids materialize through numpy (one vectorized take +
+    # tolist per source) and the dedup/self-skip edge loop runs inside
+    # the graph's bulk append — no RNG below, so the edge set is
+    # identical to the old per-pick `follow` loop on either graph
+    ids_arr = np.asarray(account_ids, dtype=np.int64)
+    graph = platform.graph
     for i, src in enumerate(account_ids):
         degree = int(out_degrees[i])
         if degree == 0:
@@ -197,12 +203,4 @@ def _wire_initial_graph(
         # Oversample to absorb duplicates/self-picks, then trim.
         draws = rng.random(min(int(degree * 1.6) + 4, 4 * n))
         picks = np.searchsorted(cumulative, draws)
-        added = 0
-        for pick in picks:
-            if added >= degree:
-                break
-            dst = account_ids[int(pick)]
-            if dst == src or platform.graph.is_following(src, dst):
-                continue
-            platform.graph.follow(src, dst)
-            added += 1
+        graph.bulk_follow_new(src, ids_arr[picks].tolist(), degree)

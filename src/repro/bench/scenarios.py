@@ -13,6 +13,9 @@ Three scenarios cover the hot paths the indexed/incremental fast path
   attached (streaming) classifier.
 * ``run_standard`` — wall time of the whole pipeline (honeypots →
   signatures → measurement), fast path vs. naive.
+* ``world_build`` — ``Study(config)`` construction time, columnar
+  stores (DESIGN.md §11) vs. the set/list reference stores, up to 10x
+  the tiny preset's population.
 * ``fleet`` — the :mod:`repro.fleet` replication runner: a seeds ×
   intervention-arms sweep run serially with every replica rebuilding its
   prefix, vs. pooled with the world-snapshot prefix cache. The derived
@@ -38,8 +41,15 @@ import json
 from dataclasses import replace
 from typing import Callable
 
-from repro.bench.harness import Stats, summarize, time_interleaved, time_repeated
+from repro.bench.harness import (
+    Stats,
+    peak_rss_kb,
+    summarize,
+    time_interleaved,
+    time_repeated,
+)
 from repro.bench.schema import SCHEMA_VERSION
+from repro.behavior.degree import DegreeDistribution
 from repro.core.config import StudyConfig
 from repro.core.study import Study
 from repro.detection.classifier import AASClassifier
@@ -52,13 +62,22 @@ BENCH_SEED = 42
 def _speedup(slow: Stats, fast: Stats) -> dict:
     """A ``derived.speedup_*`` entry: the ratio plus its noise verdict.
 
-    ``noise_floor`` is true when |speedup - 1| sits inside the larger of
-    the two cases' coefficients of variation — i.e. the measured ratio
-    is indistinguishable from run-to-run jitter and must not be read as
-    a real effect.
+    The ratio compares the two cases' *minima*. On a shared runner,
+    interference is one-sided — it only ever adds time — so the min-of-N
+    sample is the best estimate of each case's true cost, while means
+    (and stdev-based CVs) absorb whatever else the host was doing during
+    the run. The noise yardstick is correspondingly min-based: the worse
+    of the two cases' relative best-to-runnerup gaps, i.e. how
+    reproducible each minimum proved to be. ``noise_floor`` is true when
+    |speedup - 1| sits inside that gap — the measured ratio is then
+    indistinguishable from run-to-run jitter and must not be read as a
+    real effect.
     """
-    value = slow.mean_s / fast.mean_s
-    noise_cv = max(slow.cv, fast.cv)
+    value = slow.best_s / fast.best_s
+    noise_cv = max(
+        (slow.runnerup_s - slow.best_s) / slow.best_s,
+        (fast.runnerup_s - fast.best_s) / fast.best_s,
+    )
     return {
         "value": value,
         "noise_cv": noise_cv,
@@ -129,6 +148,7 @@ def bench_tick_loop(smoke: bool, workers: int = 1) -> dict:
                     "name": f"population-{size}-{label}",
                     "stats": stats.as_dict(),
                     "ticks_per_s": hours / stats.mean_s,
+                    "peak_rss_kb": peak_rss_kb(),
                 }
             )
     settings = {
@@ -187,7 +207,9 @@ def bench_sweep(smoke: bool, workers: int = 1) -> dict:
     for name, make_case in cases:
         stats = summarize(time_repeated(make_case, warmup, repetitions), warmup)
         stats_by_name[name] = stats
-        results.append({"name": name, "stats": stats.as_dict()})
+        results.append(
+            {"name": name, "stats": stats.as_dict(), "peak_rss_kb": peak_rss_kb()}
+        )
     derived = {
         "log_records": len(log),
         "window_records": len(log.records_between(start_tick, end_tick)),
@@ -217,29 +239,151 @@ def bench_sweep(smoke: bool, workers: int = 1) -> dict:
 # ----------------------------------------------------------------------
 
 def bench_run_standard(smoke: bool, workers: int = 1) -> dict:
-    warmup, repetitions = (0, 1) if smoke else (1, 3)
+    """Time the whole pipeline fast vs naive at 1x and 10x population.
+
+    Full mode runs two scales of the tiny preset: the preset's own
+    population (260) and a 10x variant (2600). The 10x pair is the
+    headline ``speedup_fast_vs_naive`` — it demonstrates the scaled
+    acceptance claim directly: the fast path runs a standard study at
+    ten times today's population inside the wall-clock the reference
+    path needs for the same world. Smoke mode keeps the single-scale
+    shortened pipeline.
+    """
+    sizes = (260,) if smoke else (260, 2600)
+    # 5 repetitions in full mode: the fast-vs-naive separation here is a
+    # few percent, so the min-of-N estimator needs enough samples for
+    # both minima (and their runner-ups) to settle below that separation
+    warmup, repetitions = (0, 1) if smoke else (1, 5)
     results = []
-    stats_by_mode: dict[str, Stats] = {}
-
+    speedups: dict[int, dict] = {}
     built: dict[bool, Study] = {}
+    for size in sizes:
+        def make_case(fast: bool, size: int = size) -> Callable[[], object]:
+            config = StudyConfig.tiny(seed=BENCH_SEED)
+            if smoke:
+                config = replace(config, honeypot_days=2, measurement_days=2)
+            config = replace(
+                config,
+                fast_path=fast,
+                population=replace(config.population, size=size),
+            )
+            study = Study(config)
+            built[fast] = study
+            return lambda: study.run_standard()
 
-    def make_case(fast: bool) -> Callable[[], object]:
-        config = StudyConfig.tiny(seed=BENCH_SEED)
-        if smoke:
-            config = replace(config, honeypot_days=2, measurement_days=2)
-        study = Study(replace(config, fast_path=fast))
-        built[fast] = study
-        return lambda: study.run_standard()
-
-    cases = {_mode_label(fast): (lambda fast=fast: make_case(fast)) for fast in (True, False)}
-    for label, samples in time_interleaved(cases, warmup, repetitions).items():
-        stats = summarize(samples, warmup)
-        stats_by_mode[label] = stats
-        results.append({"name": f"run-standard-{label}", "stats": stats.as_dict()})
-    settings = {"seed": BENCH_SEED, "preset": "tiny"}
-    derived = {"speedup_fast_vs_naive": _speedup(stats_by_mode["naive"], stats_by_mode["fast"])}
+        cases = {
+            _mode_label(fast): (lambda fast=fast: make_case(fast)) for fast in (True, False)
+        }
+        stats_by_mode: dict[str, Stats] = {}
+        for label, samples in time_interleaved(cases, warmup, repetitions).items():
+            stats = summarize(samples, warmup)
+            stats_by_mode[label] = stats
+            results.append(
+                {
+                    "name": f"run-standard-pop{size}-{label}",
+                    "stats": stats.as_dict(),
+                    "peak_rss_kb": peak_rss_kb(),
+                }
+            )
+        speedups[size] = _speedup(stats_by_mode["naive"], stats_by_mode["fast"])
+    derived: dict = {
+        f"speedup_fast_vs_naive_pop{size}": entry for size, entry in speedups.items()
+    }
+    #: the headline (and the scaled acceptance claim): the largest scale
+    derived["speedup_fast_vs_naive"] = speedups[max(sizes)]
+    settings = {
+        "seed": BENCH_SEED,
+        "preset": "tiny",
+        "population_sizes": list(sizes),
+        "scaled_population_multiple": max(sizes) / 260,
+    }
     return _envelope(
         "run_standard", smoke, settings, results, derived,
+        observability=built[True].obs.metrics.snapshot(),
+    )
+
+
+# ----------------------------------------------------------------------
+# world_build — Study construction, columnar stores vs reference stores
+# ----------------------------------------------------------------------
+
+#: the world_build wiring knobs: a follower-graph-heavy population.
+#: The tiny preset's default build is ~85% profile/media synthesis —
+#: work both store modes share — so at default degrees the store
+#: difference drowns in mode-independent cost. Raising the out-degree
+#: median (40 → 200) and thinning media per account shifts the build's
+#: weight onto graph wiring, the work the columnar stores actually
+#: change, without touching what the stores are asked to do per edge.
+_BUILD_DEGREE_MEDIAN = 200.0
+_BUILD_MEDIA_PER_ACCOUNT = (2, 6)
+
+
+def bench_world_build(smoke: bool, workers: int = 1) -> dict:
+    """Time world construction (``Study(config)``) fast vs naive.
+
+    The build is where the columnar graph's ``bulk_follow_new`` wiring
+    (one ``dict.fromkeys`` row per account + flat CSR edge columns) pays
+    off against the per-edge set-insert reference path. The workload is
+    deliberately wiring-heavy (see the module-level knobs above): it
+    times the store-differentiated part of the build rather than the
+    mode-independent synthesis that dominates the default preset. The
+    largest full-mode size (2600) is 10x the tiny preset's population —
+    the scale where the columnar advantage clears the noise floor
+    decisively; smoke mode uses the mid size for the same reason (at 260
+    the store difference is inside jitter on a busy CI runner).
+    """
+    sizes = (900,) if smoke else (260, 900, 2600)
+    warmup, repetitions = (1, 3) if smoke else (1, 5)
+    results = []
+    speedups: dict[int, dict] = {}
+    built: dict[bool, Study] = {}
+    for size in sizes:
+        def make_case(fast: bool, size: int = size) -> Callable[[], object]:
+            base = StudyConfig.tiny(seed=BENCH_SEED)
+            config = replace(
+                base,
+                fast_path=fast,
+                population=replace(
+                    base.population,
+                    size=size,
+                    out_degree=DegreeDistribution(median=_BUILD_DEGREE_MEDIAN, sigma=1.0),
+                    media_per_account=_BUILD_MEDIA_PER_ACCOUNT,
+                ),
+            )
+            return lambda: built.__setitem__(fast, Study(config))
+
+        cases = {
+            _mode_label(fast): (lambda fast=fast: make_case(fast)) for fast in (True, False)
+        }
+        stats_by_mode: dict[str, Stats] = {}
+        for label, samples in time_interleaved(cases, warmup, repetitions).items():
+            stats = summarize(samples, warmup)
+            stats_by_mode[label] = stats
+            results.append(
+                {
+                    "name": f"population-{size}-{label}",
+                    "stats": stats.as_dict(),
+                    "accounts_per_s": size / stats.mean_s,
+                    "peak_rss_kb": peak_rss_kb(),
+                }
+            )
+        speedups[size] = _speedup(stats_by_mode["naive"], stats_by_mode["fast"])
+    derived: dict = {
+        f"speedup_columnar_vs_naive_pop{size}": entry
+        for size, entry in speedups.items()
+    }
+    #: the headline number (and CI's noise-floor gate): the largest size
+    derived["speedup_columnar_vs_naive"] = speedups[max(sizes)]
+    settings = {
+        "seed": BENCH_SEED,
+        "population_sizes": list(sizes),
+        "preset": "tiny",
+        "tiny_population_multiple": max(sizes) / 260,
+        "out_degree_median": _BUILD_DEGREE_MEDIAN,
+        "media_per_account": list(_BUILD_MEDIA_PER_ACCOUNT),
+    }
+    return _envelope(
+        "world_build", smoke, settings, results, derived,
         observability=built[True].obs.metrics.snapshot(),
     )
 
@@ -336,7 +480,12 @@ def bench_fleet(smoke: bool, workers: int = 4) -> dict:
         stats = summarize(time_repeated(make_case, warmup, repetitions), warmup)
         stats_by_name[name] = stats
         results.append(
-            {"name": name, "stats": stats.as_dict(), "replicas": len(specs)}
+            {
+                "name": name,
+                "stats": stats.as_dict(),
+                "replicas": len(specs),
+                "peak_rss_kb": peak_rss_kb(),
+            }
         )
 
     pooled = captured["pooled-reuse"]
@@ -375,5 +524,6 @@ SCENARIOS: dict[str, Callable[..., dict]] = {
     "tick_loop": bench_tick_loop,
     "sweep": bench_sweep,
     "run_standard": bench_run_standard,
+    "world_build": bench_world_build,
     "fleet": bench_fleet,
 }

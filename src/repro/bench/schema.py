@@ -3,7 +3,7 @@
 All scenario files share one envelope::
 
     {
-      "schema_version": 2,
+      "schema_version": 3,
       "benchmark": "<scenario name>",
       "mode": "full" | "smoke",
       "settings": { ...scenario knobs (seed, scales, days, ...) },
@@ -11,8 +11,10 @@ All scenario files share one envelope::
         {
           "name": "<case label>",
           "stats": {"warmup": int, "repetitions": int,
-                    "best_s": float, "mean_s": float, "median_s": float,
+                    "best_s": float, "runnerup_s": float,
+                    "mean_s": float, "median_s": float,
                     "stdev_s": float, "cv": float},
+          "peak_rss_kb": int,  # process peak RSS after this case's runs
           ...optional extra numeric fields (e.g. "ticks_per_s")
         },
         ...
@@ -37,14 +39,23 @@ from repro.obs.schema import validate_snapshot
 
 #: v2: stats blocks carry stdev_s + cv, and every ``derived.speedup_*``
 #: entry is an object ``{"value": float, "noise_floor": bool, ...}`` —
-#: ``noise_floor`` true means |speedup - 1| sits inside the compared
-#: cases' coefficient of variation, i.e. the ratio is measurement noise
-SCHEMA_VERSION = 2
+#: ``noise_floor`` true means the measured ratio is indistinguishable
+#: from run-to-run jitter and must not be read as a real effect.
+#: v3: every result carries ``peak_rss_kb`` — the process peak RSS
+#: (``ru_maxrss``) read after the case's runs; a process-wide high-water
+#: mark, so within one bench process later cases subsume earlier peaks
+#: (treat it as an upper bound per case). Stats blocks also carry
+#: ``runnerup_s`` (the second-smallest sample): speedups are min-of-N
+#: ratios (``slow.best_s / fast.best_s``) because shared-runner noise is
+#: one-sided, and the relative best-to-runnerup gap is the noise
+#: yardstick ``noise_floor`` is judged against.
+SCHEMA_VERSION = 3
 
 _STATS_FIELDS: tuple[tuple[str, type | tuple[type, ...]], ...] = (
     ("warmup", int),
     ("repetitions", int),
     ("best_s", (int, float)),
+    ("runnerup_s", (int, float)),
     ("mean_s", (int, float)),
     ("median_s", (int, float)),
     ("stdev_s", (int, float)),
@@ -124,6 +135,12 @@ def validate_payload(payload: object) -> list[str]:
         _check(
             isinstance(result.get("name"), str) and bool(result.get("name")),
             f"{where}.name must be a non-empty string",
+            errors,
+        )
+        rss = result.get("peak_rss_kb")
+        _check(
+            isinstance(rss, int) and not isinstance(rss, bool) and rss >= 0,
+            f"{where}.peak_rss_kb must be a non-negative integer",
             errors,
         )
         stats = result.get("stats")

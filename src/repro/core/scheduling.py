@@ -21,6 +21,7 @@ study keeps identical to the naive loop's visit order.
 
 from __future__ import annotations
 
+from bisect import insort
 from dataclasses import dataclass
 from typing import Callable, Optional
 
@@ -80,7 +81,15 @@ class TimingWheel:
 
     def _schedule(self, agent: _Agent, tick: int) -> None:
         agent.scheduled_at = tick
-        self._buckets.setdefault(tick, []).append(agent)
+        bucket = self._buckets.get(tick)
+        if bucket is None:
+            self._buckets[tick] = [agent]
+        else:
+            # keep buckets ordered by registration index at insertion
+            # time (buckets are a handful of agents, so insort is one
+            # short shift) — run_due then pops a pre-ordered batch
+            # instead of sorting every tick
+            insort(bucket, agent, key=lambda a: a.index)
 
     def wake(self, name: str, tick: int) -> None:
         """Pull an agent's wake earlier (or unpark it) — e.g. after an
@@ -105,7 +114,6 @@ class TimingWheel:
             self._obs_idle.inc()
             return 0
         self._obs_due.observe(len(due))
-        due.sort(key=lambda agent: agent.index)
         for agent in due:
             agent.scheduled_at = None
             self._obs_runs.inc()
@@ -118,3 +126,23 @@ class TimingWheel:
             else:
                 self._obs_parks.inc()
         return len(due)
+
+    def run_window(
+        self, start: int, hours: int, advance: Callable[[], None]
+    ) -> int:
+        """Batched stepping: drain ``hours`` consecutive tick buckets in
+        one call, invoking ``advance()`` after each tick's batch (the
+        study passes the clock's one-tick advance, which also fires due
+        delayed-removal callbacks). Returns total agent runs.
+
+        Per-tick work is exactly ``run_due(t); advance()`` for each tick
+        in ``[start, start + hours)`` — same agents, same registration-
+        order tie-break, same RNG draw sequence — with the per-tick
+        dispatch loop hoisted out of :meth:`repro.core.study.Study.tick`.
+        """
+        ran = 0
+        run_due = self.run_due
+        for now in range(start, start + hours):
+            ran += run_due(now)
+            advance()
+        return ran

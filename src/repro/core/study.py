@@ -106,7 +106,9 @@ class Study:
         self.clock = SimClock()
         self.obs.bind_tick_source(lambda: self.clock.now)
         with self.obs.span("build-world", seed=config.seed, population=config.population.size):
-            self.platform = InstagramPlatform(self.clock, obs=self.obs)
+            self.platform = InstagramPlatform(
+                self.clock, obs=self.obs, fast_path=config.fast_path
+            )
             self.registry = ASNRegistry()
             self.fabric = NetworkFabric(self.registry, self.seeds.get("fabric"))
             self.geoip = GeoIP(self.registry)
@@ -389,6 +391,14 @@ class Study:
         self.clock.advance(1)
 
     def run_hours(self, hours: int) -> None:
+        if self._wheel is not None and hours > 0:
+            # batched stepping: one wheel call drains all `hours` tick
+            # buckets (same per-tick work as tick(), minus the Python
+            # call overhead of re-entering tick/run_due per hour)
+            self._wheel.run_window(
+                self.clock.now, hours, lambda: self.clock.advance(1)
+            )
+            return
         for _ in range(hours):
             self.tick()
 

@@ -79,6 +79,11 @@ class AttributedActivity:
         return {r.endpoint.asn for r in self.records}
 
 
+#: sentinel distinguishing "endpoint id never attributed" from a memoized
+#: benign (None) attribution in the streaming observer's id memo
+_UNSEEN = object()
+
+
 def _cut_window(values: list, ticks: list[int], start_tick: int, end_tick: int | None) -> list:
     """Slice ``values`` (parallel to sorted ``ticks``) to a tick window."""
     lo = bisect_left(ticks, start_tick)
@@ -112,6 +117,11 @@ class AASClassifier:
         #: (asn, variant) -> service-or-None; matching depends only on the
         #: endpoint, so distinct endpoints bound the matching work
         self._match_memo: dict[tuple[int, str], Optional[str]] = {}
+        #: interned endpoint id -> service-or-None for the attached
+        #: columnar log: the streaming observer's memo probe without
+        #: decoding the endpoint or building a key tuple. Ids are
+        #: per-log, so attach/detach resets it.
+        self._eid_memo: dict[int, Optional[str]] = {}
         # streaming-attribution state (populated by attach()); records are
         # cached by reference so a window sweep is a bisect plus one slice
         self._log: ActionLog | None = None
@@ -161,6 +171,7 @@ class AASClassifier:
         if self._log is not None:
             self.detach()
         self._log = log
+        self._eid_memo = {}
         self._stream_records = {s.service: [] for s in self.signatures}
         self._stream_ticks = {s.service: [] for s in self.signatures}
         self._benign_records = []
@@ -176,29 +187,44 @@ class AASClassifier:
             return
         self._log.remove_observer(self._observe)
         self._log = None
+        self._eid_memo = {}
         self._stream_records = {}
         self._stream_ticks = {}
         self._benign_records = []
         self._benign_ticks = []
 
     def _observe(self, record: ActionRecord) -> None:
-        # the per-append hot path: one memo lookup, two list appends
-        endpoint = record.endpoint
-        key = (endpoint.asn, endpoint.fingerprint.variant)
-        memo = self._match_memo
-        if key in memo:
-            service = memo[key]
-            self._obs_memo_hit.inc()
+        # the per-append hot path: one memo lookup, two list appends.
+        # Columnar views expose their row directly, so the memo probes on
+        # the interned endpoint id and reads the tick straight out of the
+        # column — no endpoint decode, no key tuple, no property calls.
+        cols = getattr(record, "_cols", None)
+        if cols is not None:
+            row = record.action_id
+            service = self._eid_memo.get(cols.endpoint_ids[row], _UNSEEN)
+            if service is _UNSEEN:
+                service = self._eid_memo[cols.endpoint_ids[row]] = self.attribute(record)
+            else:
+                self._obs_memo_hit.inc()
+            tick = cols.ticks[row]
         else:
-            service = self.attribute(record)
+            endpoint = record.endpoint
+            key = (endpoint.asn, endpoint.fingerprint.variant)
+            memo = self._match_memo
+            if key in memo:
+                service = memo[key]
+                self._obs_memo_hit.inc()
+            else:
+                service = self.attribute(record)
+            tick = record.tick
         if service is None:
             records, ticks = self._benign_records, self._benign_ticks
         else:
             records, ticks = self._stream_records[service], self._stream_ticks[service]
-        if ticks and record.tick < ticks[-1]:
+        if ticks and tick < ticks[-1]:
             self._stream_ordered = False  # out-of-order append: bisect invalid
         records.append(record)
-        ticks.append(record.tick)
+        ticks.append(tick)
 
     def _streaming_for(self, records: Iterable[ActionRecord]) -> bool:
         return self._log is not None and records is self._log and self._stream_ordered

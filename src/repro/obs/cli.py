@@ -131,6 +131,37 @@ def _fmt_number(value: object) -> str:
     return str(value)
 
 
+def _hot_phases_section(
+    by_name: Dict[str, List[int]],
+    wall_by_name: Dict[str, float],
+    has_wall: bool,
+    top: int,
+) -> str:
+    """Rank phase spans by total tick-duration, with share-of-total and
+    per-span mean; a ``wall_s`` column appears only when the trace was
+    recorded with wall timing (it is opt-in and stripped from canonical
+    traces, so most traces do not have it)."""
+    total_ticks = sum(sum(tick_spans) for tick_spans in by_name.values())
+    ranked = sorted(
+        by_name.items(), key=lambda item: (-sum(item[1]), item[0])
+    )[:top]
+    if not ranked:
+        return "Hot phases: (no spans)"
+    rows = ["Hot phases (by total tick-duration):"]
+    width = max(len(name) for name, _ in ranked)
+    for name, tick_spans in ranked:
+        ticks = sum(tick_spans)
+        share = (100.0 * ticks / total_ticks) if total_ticks else 0.0
+        line = (
+            f"  {name:<{width}}  ticks={ticks}  share={share:5.1f}%"
+            f"  count={len(tick_spans)}  mean={ticks / len(tick_spans):.1f}"
+        )
+        if has_wall and name in wall_by_name:
+            line += f"  wall_s={wall_by_name[name]:.3f}"
+        rows.append(line)
+    return "\n".join(rows)
+
+
 def cmd_summarize(args: argparse.Namespace) -> int:
     spans: List[Dict[str, object]] = []
     snapshots: List[List[Dict[str, object]]] = []
@@ -150,14 +181,24 @@ def cmd_summarize(args: argparse.Namespace) -> int:
     sections: List[str] = [title]
 
     by_name: Dict[str, List[int]] = defaultdict(list)
+    wall_by_name: Dict[str, float] = defaultdict(float)
+    has_wall = False
     for span in spans:
         start, end = span.get("start_tick"), span.get("end_tick")
         assert isinstance(start, int) and isinstance(end, int)
         by_name[str(span.get("name"))].append(end - start)
+        wall = span.get("wall_s")
+        if isinstance(wall, (int, float)):
+            has_wall = True
+            wall_by_name[str(span.get("name"))] += float(wall)
     ranked = sorted(
         by_name.items(), key=lambda item: (-sum(item[1]), item[0])
     )[: args.top]
-    if ranked:
+    if getattr(args, "hot_phases", False):
+        sections.append(
+            _hot_phases_section(by_name, wall_by_name, has_wall, args.top)
+        )
+    elif ranked:
         rows = ["Top spans by total tick-span:"]
         width = max(len(name) for name, _ in ranked)
         for name, tick_spans in ranked:
@@ -286,6 +327,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSONL trace path(s); several (or a fleet-merged file) are merged",
     )
     summarize.add_argument("--top", type=int, default=20, help="span rows to show (default 20)")
+    summarize.add_argument(
+        "--hot-phases",
+        action="store_true",
+        help=(
+            "replace the span table with a hot-phase ranking: total "
+            "tick-duration, share of all span ticks, count, mean span "
+            "length, and wall_s totals when the trace has wall timing"
+        ),
+    )
 
     diff = sub.add_parser("diff", help="compare coverage/values of two traces")
     diff.add_argument("old", help="baseline trace")

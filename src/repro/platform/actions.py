@@ -14,24 +14,58 @@ instead of a full-log scan. The platform appends in simulation order, so
 ticks are non-decreasing and the bisect fast path applies; a log built
 with out-of-order ticks (possible when tests append synthetic records)
 degrades transparently to the brute-force filters.
+
+The log has two storage modes behind one API (DESIGN.md §11 "Columnar
+world core"):
+
+* **reference** (default) — a ``list[ActionRecord]`` plus list-backed
+  indices, the bit-equivalence oracle.
+* **columnar** (``columnar=True``, selected by the platform's fast
+  path) — rows live in :class:`~repro.platform.columns.ActionColumns`
+  (parallel stdlib ``array`` vectors + interned endpoint table), indices
+  are ``array('q')`` vectors, signature buckets key on interned ids
+  resolved through an ``(endpoint id, type code)`` fast map instead of
+  hashing a tuple per append, and query results materialize transient
+  :class:`~repro.platform.columns.ActionView` flyweights.
+
+Query results are bit-identical across modes (property-tested in
+``tests/test_platform_columnar_log.py``): same ids, same field values,
+same ordering, including the out-of-order-append fallback paths.
 """
 
 from __future__ import annotations
 
+from array import array
 from bisect import bisect_left
 from collections import defaultdict
-from typing import Callable, Iterable, Iterator, Optional
+from typing import Callable, Iterable, Iterator, Optional, Union
 
 from repro.netsim.client import ClientEndpoint
 from repro.obs import NULL_OBS, Observability
-from repro.platform.models import AccountId, ActionRecord, ActionStatus, ActionType
+from repro.platform.columns import (
+    N_ACTION_TYPES,
+    ActionColumns,
+    ActionView,
+)
+from repro.platform.models import (
+    AccountId,
+    ActionRecord,
+    ActionStatus,
+    ActionType,
+    ApiSurface,
+    MediaId,
+)
 
 #: a signature-bucket key: (ASN, action type, client fingerprint variant)
 SignatureKey = tuple[int, ActionType, str]
 
+#: what the log hands back: real records in reference mode, column-backed
+#: flyweights in columnar mode — field-compatible by construction
+StoredAction = Union[ActionRecord, ActionView]
+
 
 def _window(
-    ticks: list[int], start_tick: Optional[int], end_tick: Optional[int]
+    ticks, start_tick: Optional[int], end_tick: Optional[int]
 ) -> tuple[int, int]:
     """Offsets of ``[start_tick, end_tick)`` in a sorted tick array."""
     lo = 0 if start_tick is None else bisect_left(ticks, start_tick)
@@ -42,38 +76,117 @@ def _window(
 class ActionLog:
     """Append-only action store with tick/actor/target/signature indices."""
 
-    def __init__(self, obs: Observability | None = None):
+    def __init__(self, obs: Observability | None = None, columnar: bool = False):
         _obs = obs if obs is not None else NULL_OBS
         self._obs_appends = _obs.counter("platform.actionlog.appends")
         #: window queries answered by the bisect indices vs. ones that fell
         #: back to a linear scan (out-of-order log) — the index hit rate
         self._obs_query_index = _obs.counter("platform.actionlog.window_query", path="index")
         self._obs_query_scan = _obs.counter("platform.actionlog.window_query", path="scan")
-        self._records: list[ActionRecord] = []
-        #: parallel array of record ticks (non-decreasing on the platform
-        #: append path); window queries bisect it
-        self._ticks: list[int] = []
-        self._by_actor: dict[AccountId, list[int]] = defaultdict(list)
-        self._by_actor_ticks: dict[AccountId, list[int]] = defaultdict(list)
-        self._by_target: dict[AccountId, list[int]] = defaultdict(list)
-        self._by_target_ticks: dict[AccountId, list[int]] = defaultdict(list)
-        #: per-(ASN, action type, variant) buckets of record ids, with
-        #: parallel tick arrays — the attribution sweep's access pattern
-        self._by_signature: dict[SignatureKey, list[int]] = defaultdict(list)
-        self._by_signature_ticks: dict[SignatureKey, list[int]] = defaultdict(list)
-        #: canonical ClientEndpoint instances; AAS exits and per-user home
-        #: endpoints repeat across millions of records, so sharing one
-        #: object per distinct endpoint keeps the log's footprint flat
-        self._interned_endpoints: dict[ClientEndpoint, ClientEndpoint] = {}
-        self._observers: list[Callable[[ActionRecord], None]] = []
+        self._observers: list[Callable[[StoredAction], None]] = []
         self._monotonic = True
+        self._columnar = columnar
+        if columnar:
+            self._cols: ActionColumns | None = ActionColumns(obs=_obs)
+            self._records: list[ActionRecord] | None = None
+            #: the bisect index IS the tick column — zero duplication
+            self._ticks = self._cols.ticks
+            self._by_actor: dict[AccountId, array] = {}
+            self._by_actor_ticks: dict[AccountId, array] = {}
+            self._by_target: dict[AccountId, array] = {}
+            self._by_target_ticks: dict[AccountId, array] = {}
+            #: signature buckets keyed on dense signature ids; the value
+            #: key table resolves the public (ASN, type, variant) queries
+            self._by_signature: dict[int, array] = {}
+            self._by_signature_ticks: dict[int, array] = {}
+            self._sig_keys: list[SignatureKey] = []
+            self._sig_ids: dict[SignatureKey, int] = {}
+            #: (endpoint id, type code) -> that signature's (ids, ticks)
+            #: bucket arrays; saves building and hashing a (int, enum,
+            #: str) tuple plus two bucket-dict probes on every append
+            self._sig_fast: dict[int, tuple[array, array]] = {}
+            self._interned_endpoints: dict[ClientEndpoint, ClientEndpoint] | None = None
+        else:
+            self._cols = None
+            self._records = []
+            #: parallel array of record ticks (non-decreasing on the platform
+            #: append path); window queries bisect it
+            self._ticks = []
+            self._by_actor = defaultdict(list)
+            self._by_actor_ticks = defaultdict(list)
+            self._by_target = defaultdict(list)
+            self._by_target_ticks = defaultdict(list)
+            #: per-(ASN, action type, variant) buckets of record ids, with
+            #: parallel tick arrays — the attribution sweep's access pattern
+            self._by_signature = defaultdict(list)
+            self._by_signature_ticks = defaultdict(list)
+            #: canonical ClientEndpoint instances; AAS exits and per-user home
+            #: endpoints repeat across millions of records, so sharing one
+            #: object per distinct endpoint keeps the log's footprint flat
+            self._interned_endpoints = {}
+
+    @property
+    def columnar(self) -> bool:
+        """Whether rows live in SoA columns (fast path) or record objects."""
+        return self._columnar
+
+    # ------------------------------------------------------------------
+    # Appends
+    # ------------------------------------------------------------------
+
+    def log_action(
+        self,
+        action_type: ActionType,
+        actor: AccountId,
+        tick: int,
+        endpoint: ClientEndpoint,
+        api: ApiSurface,
+        status: ActionStatus,
+        target_account: Optional[AccountId] = None,
+        target_media: Optional[MediaId] = None,
+        comment_text: Optional[str] = None,
+    ) -> StoredAction:
+        """Append one action from scalar fields; returns the stored row.
+
+        The platform's append path: in columnar mode the fields go
+        straight into the columns (no record object is ever built); in
+        reference mode this constructs and appends an
+        :class:`ActionRecord` exactly as the facade used to.
+        """
+        if self._columnar:
+            return self._push(
+                action_type, actor, tick, endpoint, api, status,
+                target_account, target_media, comment_text, None,
+            )
+        record = ActionRecord(
+            action_id=len(self._records),
+            action_type=action_type,
+            actor=actor,
+            tick=tick,
+            endpoint=endpoint,
+            api=api,
+            status=status,
+            target_account=target_account,
+            target_media=target_media,
+            comment_text=comment_text,
+        )
+        self.append(record)
+        return record
 
     def append(self, record: ActionRecord) -> None:
-        """Append one record; ids must be the log's next index."""
-        if record.action_id != len(self._records):
+        """Append one pre-built record; ids must be the log's next index."""
+        if record.action_id != len(self):
             raise ValueError(
-                f"action_id {record.action_id} out of order; expected {len(self._records)}"
+                f"action_id {record.action_id} out of order; expected {len(self)}"
             )
+        if self._columnar:
+            view = self._push(
+                record.action_type, record.actor, record.tick, record.endpoint,
+                record.api, record.status, record.target_account,
+                record.target_media, record.comment_text, record.removed_at,
+            )
+            assert view.action_id == record.action_id
+            return
         record.endpoint = self._interned_endpoints.setdefault(record.endpoint, record.endpoint)
         if self._ticks and record.tick < self._ticks[-1]:
             self._monotonic = False
@@ -91,23 +204,93 @@ class ActionLog:
         for observer in self._observers:
             observer(record)
 
+    def _push(
+        self,
+        action_type: ActionType,
+        actor: AccountId,
+        tick: int,
+        endpoint: ClientEndpoint,
+        api: ApiSurface,
+        status: ActionStatus,
+        target_account: Optional[AccountId],
+        target_media: Optional[MediaId],
+        comment_text: Optional[str],
+        removed_at: Optional[int],
+    ) -> ActionView:
+        """The columnar append: column pushes + int-keyed index updates."""
+        cols = self._cols
+        ticks = cols.ticks
+        if self._monotonic and ticks and tick < ticks[-1]:
+            self._monotonic = False
+        action_id, endpoint_id = cols.push(
+            action_type, actor, tick, endpoint, api, status,
+            target_account, target_media, comment_text,
+        )
+        if removed_at is not None:
+            cols.removed_ats[action_id] = removed_at
+        ids = self._by_actor.get(actor)
+        if ids is None:
+            ids = self._by_actor[actor] = array("q")
+            self._by_actor_ticks[actor] = array("q")
+        ids.append(action_id)
+        self._by_actor_ticks[actor].append(tick)
+        if target_account is not None:
+            ids = self._by_target.get(target_account)
+            if ids is None:
+                ids = self._by_target[target_account] = array("q")
+                self._by_target_ticks[target_account] = array("q")
+            ids.append(action_id)
+            self._by_target_ticks[target_account].append(tick)
+        fast_key = endpoint_id * N_ACTION_TYPES + action_type.col_code
+        bucket = self._sig_fast.get(fast_key)
+        if bucket is None:
+            key = (endpoint.asn, action_type, endpoint.fingerprint.variant)
+            sig = self._sig_ids.get(key)
+            if sig is None:
+                sig = len(self._sig_keys)
+                self._sig_ids[key] = sig
+                self._sig_keys.append(key)
+                self._by_signature[sig] = array("q")
+                self._by_signature_ticks[sig] = array("q")
+            bucket = self._sig_fast[fast_key] = (
+                self._by_signature[sig],
+                self._by_signature_ticks[sig],
+            )
+        bucket[0].append(action_id)
+        bucket[1].append(tick)
+        self._obs_appends.inc()
+        view = ActionView(cols, action_id)
+        for observer in self._observers:
+            observer(view)
+        return view
+
     def next_id(self) -> int:
-        return len(self._records)
+        return len(self)
 
     def __len__(self) -> int:
-        return len(self._records)
+        return len(self._cols) if self._columnar else len(self._records)
 
-    def __iter__(self) -> Iterator[ActionRecord]:
+    def __iter__(self) -> Iterator[StoredAction]:
+        if self._columnar:
+            cols = self._cols
+            return (ActionView(cols, i) for i in range(len(cols)))
         return iter(self._records)
 
-    def get(self, action_id: int) -> ActionRecord:
+    def get(self, action_id: int) -> StoredAction:
+        if self._columnar:
+            if not 0 <= action_id < len(self._cols):
+                raise IndexError(f"action_id {action_id} out of range")
+            return ActionView(self._cols, action_id)
         return self._records[action_id]
+
+    def _tick_of(self, action_id: int) -> int:
+        return self._ticks[action_id]
 
     # ------------------------------------------------------------------
     # Observers (streaming consumers, e.g. incremental attribution)
     # ------------------------------------------------------------------
 
-    def add_observer(self, observer: Callable[[ActionRecord], None]) -> None:
+    def add_observer(self, observer: Callable[[StoredAction], None]) -> None:
         """Call ``observer(record)`` after every future append.
 
         Observers see records already indexed; they must not append to
@@ -116,7 +299,7 @@ class ActionLog:
         if observer not in self._observers:
             self._observers.append(observer)
 
-    def remove_observer(self, observer: Callable[[ActionRecord], None]) -> None:
+    def remove_observer(self, observer: Callable[[StoredAction], None]) -> None:
         if observer in self._observers:
             self._observers.remove(observer)
 
@@ -144,64 +327,71 @@ class ActionLog:
 
     def records_between(
         self, start_tick: Optional[int] = None, end_tick: Optional[int] = None
-    ) -> list[ActionRecord]:
+    ) -> list[StoredAction]:
         """All records in ``[start_tick, end_tick)``, in log order."""
         if self._monotonic:
             self._obs_query_index.inc()
             lo, hi = _window(self._ticks, start_tick, end_tick)
+            if self._columnar:
+                cols = self._cols
+                return [ActionView(cols, i) for i in range(lo, hi)]
             return self._records[lo:hi]
         return self.select(start_tick=start_tick, end_tick=end_tick)
 
     def _indexed_between(
         self,
-        ids: dict[AccountId, list[int]],
-        ticks: dict[AccountId, list[int]],
+        ids: dict,
+        ticks: dict,
         key: AccountId,
         start_tick: Optional[int],
         end_tick: Optional[int],
-    ) -> list[ActionRecord]:
+    ) -> list[StoredAction]:
         (self._obs_query_index if self._monotonic else self._obs_query_scan).inc()
         indices = ids.get(key)
         if not indices:
             return []
         if self._monotonic:
             lo, hi = _window(ticks[key], start_tick, end_tick)
-            return [self._records[i] for i in indices[lo:hi]]
+            indices = indices[lo:hi]
+            if self._columnar:
+                cols = self._cols
+                return [ActionView(cols, i) for i in indices]
+            return [self._records[i] for i in indices]
         out = []
         for i in indices:
-            record = self._records[i]
-            if start_tick is not None and record.tick < start_tick:
+            tick = self._tick_of(i)
+            if start_tick is not None and tick < start_tick:
                 continue
-            if end_tick is not None and record.tick >= end_tick:
+            if end_tick is not None and tick >= end_tick:
                 continue
-            out.append(record)
+            out.append(self.get(i))
         return out
 
-    def by_actor(self, actor: AccountId) -> list[ActionRecord]:
+    def by_actor(self, actor: AccountId) -> list[StoredAction]:
         """All actions performed by ``actor`` (any status), in time order."""
-        return [self._records[i] for i in self._by_actor.get(actor, ())]
+        return [self.get(i) for i in self._by_actor.get(actor, ())]
 
     def by_actor_between(
         self,
         actor: AccountId,
         start_tick: Optional[int] = None,
         end_tick: Optional[int] = None,
-    ) -> list[ActionRecord]:
+    ) -> list[StoredAction]:
         """``actor``'s actions within ``[start_tick, end_tick)``."""
         return self._indexed_between(
             self._by_actor, self._by_actor_ticks, actor, start_tick, end_tick
         )
 
-    def by_target(self, target: AccountId) -> list[ActionRecord]:
+    def by_target(self, target: AccountId) -> list[StoredAction]:
         """All actions directed at ``target`` (any status), in time order."""
-        return [self._records[i] for i in self._by_target.get(target, ())]
+        return [self.get(i) for i in self._by_target.get(target, ())]
 
     def by_target_between(
         self,
         target: AccountId,
         start_tick: Optional[int] = None,
         end_tick: Optional[int] = None,
-    ) -> list[ActionRecord]:
+    ) -> list[StoredAction]:
         """Actions directed at ``target`` within ``[start_tick, end_tick)``."""
         return self._indexed_between(
             self._by_target, self._by_target_ticks, target, start_tick, end_tick
@@ -209,7 +399,22 @@ class ActionLog:
 
     def signature_keys(self) -> list[SignatureKey]:
         """Every (ASN, action type, variant) bucket present, sorted."""
-        return sorted(self._by_signature, key=lambda k: (k[0], k[1].value, k[2]))
+        keys: Iterable[SignatureKey] = (
+            self._sig_keys if self._columnar else self._by_signature
+        )
+        return sorted(keys, key=lambda k: (k[0], k[1].value, k[2]))
+
+    def _signature_bucket(self, key: SignatureKey):
+        """The (ids, ticks) bucket arrays for a signature key, if present."""
+        if self._columnar:
+            sig = self._sig_ids.get(key)
+            if sig is None:
+                return None, None
+            return self._by_signature[sig], self._by_signature_ticks[sig]
+        indices = self._by_signature.get(key)
+        if not indices:
+            return None, None
+        return indices, self._by_signature_ticks[key]
 
     def ids_by_signature(
         self,
@@ -229,21 +434,21 @@ class ActionLog:
             keys = [(asn, action_type, variant)]
         else:
             keys = [(asn, t, variant) for t in ActionType]
-        selected: list[list[int]] = []
+        selected: list = []
         for key in keys:
-            indices = self._by_signature.get(key)
+            indices, ticks = self._signature_bucket(key)
             if not indices:
                 continue
             if self._monotonic:
-                lo, hi = _window(self._by_signature_ticks[key], start_tick, end_tick)
+                lo, hi = _window(ticks, start_tick, end_tick)
                 selected.append(indices[lo:hi])
             else:
                 selected.append(
                     [
                         i
                         for i in indices
-                        if (start_tick is None or self._records[i].tick >= start_tick)
-                        and (end_tick is None or self._records[i].tick < end_tick)
+                        if (start_tick is None or self._tick_of(i) >= start_tick)
+                        and (end_tick is None or self._tick_of(i) < end_tick)
                     ]
                 )
         if not selected:
@@ -263,21 +468,21 @@ class ActionLog:
         action_type: Optional[ActionType] = None,
         start_tick: Optional[int] = None,
         end_tick: Optional[int] = None,
-    ) -> list[ActionRecord]:
+    ) -> list[StoredAction]:
         """Records matching an (ASN, variant[, action type]) signature."""
         return [
-            self._records[i]
+            self.get(i)
             for i in self.ids_by_signature(asn, variant, action_type, start_tick, end_tick)
         ]
 
-    def inbound(self, target: AccountId, *, delivered_only: bool = True) -> list[ActionRecord]:
+    def inbound(self, target: AccountId, *, delivered_only: bool = True) -> list[StoredAction]:
         """Actions received by ``target``; by default only ones that landed."""
         records = self.by_target(target)
         if delivered_only:
             records = [r for r in records if r.status is not ActionStatus.BLOCKED]
         return records
 
-    def outbound(self, actor: AccountId, *, delivered_only: bool = True) -> list[ActionRecord]:
+    def outbound(self, actor: AccountId, *, delivered_only: bool = True) -> list[StoredAction]:
         """Actions issued by ``actor``; by default only ones that landed."""
         records = self.by_actor(actor)
         if delivered_only:
@@ -291,14 +496,18 @@ class ActionLog:
         status: Optional[ActionStatus] = None,
         start_tick: Optional[int] = None,
         end_tick: Optional[int] = None,
-        predicate: Optional[Callable[[ActionRecord], bool]] = None,
-    ) -> list[ActionRecord]:
+        predicate: Optional[Callable[[StoredAction], bool]] = None,
+    ) -> list[StoredAction]:
         """Filter the full log. ``end_tick`` is exclusive."""
-        records: Iterable[ActionRecord] = self._records
+        records: Iterable[StoredAction] = self
         if self._monotonic and (start_tick is not None or end_tick is not None):
             self._obs_query_index.inc()
             lo, hi = _window(self._ticks, start_tick, end_tick)
-            records = self._records[lo:hi]
+            if self._columnar:
+                cols = self._cols
+                records = [ActionView(cols, i) for i in range(lo, hi)]
+            else:
+                records = self._records[lo:hi]
             start_tick = end_tick = None
         elif start_tick is not None or end_tick is not None:
             self._obs_query_scan.inc()

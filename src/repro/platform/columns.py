@@ -1,0 +1,233 @@
+"""Struct-of-arrays storage for the action log's columnar mode.
+
+One logged action is a row across parallel stdlib ``array`` columns plus
+two interned side tables (endpoints and signature keys). Compared to a
+``list[ActionRecord]`` this stores the hot fields — tick, actor,
+targets, status — as flat 64-bit/8-bit vectors: no per-record object
+header, no per-field pointer, and the tick column doubles as the bisect
+index the window queries run on.
+
+:class:`ActionView` is the lazily-materialized, slotted flyweight that
+stands in for :class:`~repro.platform.models.ActionRecord`: two slots (a
+store pointer and a row index), every record field decoded on property
+access, and ``mark_removed`` writing back through to the status and
+``removed_at`` columns so countermeasure undo closures work unchanged.
+Views are transient — the log materializes them on query — so holding a
+view alive does not pin a record object the way the list-backed
+reference log does.
+
+Enum codes use the enum's definition order, which is part of the
+platform API (reordering :class:`ActionType` would change serialized
+datasets anyway). ``None`` targets/removal ticks encode as -1; account,
+media, and tick values are all non-negative by construction.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Optional
+
+from repro.netsim.client import ClientEndpoint
+from repro.obs import NULL_OBS, Observability
+from repro.platform.intern import Interner
+from repro.platform.models import (
+    AccountId,
+    ActionStatus,
+    ActionType,
+    ApiSurface,
+    MediaId,
+)
+
+#: definition-order code tables; decode is a tuple index. Encode is an
+#: attribute read: the dense code is stamped onto each enum member as
+#: ``.col_code``, because ``Enum.__hash__`` is a Python-level function
+#: and an enum-keyed dict probe therefore costs a Python call on every
+#: append — the member's instance dict does not.
+_TYPES: tuple[ActionType, ...] = tuple(ActionType)
+_STATUSES: tuple[ActionStatus, ...] = tuple(ActionStatus)
+_APIS: tuple[ApiSurface, ...] = tuple(ApiSurface)
+for _members in (_TYPES, _STATUSES, _APIS):
+    for _code, _member in enumerate(_members):
+        _member.col_code = _code
+
+#: number of action types — the stride of the (endpoint, type) fast key
+N_ACTION_TYPES = len(_TYPES)
+
+
+def type_code(action_type: ActionType) -> int:
+    """The dense column code of an action type (definition order)."""
+    return action_type.col_code
+
+#: sentinel for "no value" in the optional int columns
+_NONE = -1
+
+
+class ActionColumns:
+    """The parallel column vectors behind a columnar action log."""
+
+    __slots__ = (
+        "ticks",
+        "actors",
+        "type_codes",
+        "status_codes",
+        "api_codes",
+        "target_accounts",
+        "target_medias",
+        "removed_ats",
+        "endpoint_ids",
+        "comment_texts",
+        "endpoints",
+        "_obs_rows",
+    )
+
+    def __init__(self, obs: Optional[Observability] = None):
+        _obs = obs if obs is not None else NULL_OBS
+        self.ticks = array("q")
+        self.actors = array("q")
+        self.type_codes = array("b")
+        self.status_codes = array("b")
+        self.api_codes = array("b")
+        self.target_accounts = array("q")
+        self.target_medias = array("q")
+        self.removed_ats = array("q")
+        self.endpoint_ids = array("q")
+        #: sparse: only COMMENT rows carry text
+        self.comment_texts: dict[int, str] = {}
+        self.endpoints: Interner[ClientEndpoint] = Interner(obs=_obs, name="endpoints")
+        #: one row = nine column appends; the SoA write amplification the
+        #: bench payloads surface alongside the memory it buys back
+        self._obs_rows = _obs.counter("platform.actionlog.column_appends")
+
+    def __len__(self) -> int:
+        return len(self.ticks)
+
+    def push(
+        self,
+        action_type: ActionType,
+        actor: AccountId,
+        tick: int,
+        endpoint: ClientEndpoint,
+        api: ApiSurface,
+        status: ActionStatus,
+        target_account: Optional[AccountId],
+        target_media: Optional[MediaId],
+        comment_text: Optional[str],
+    ) -> tuple[int, int]:
+        """Append one row; returns ``(action_id, endpoint_id)``."""
+        action_id = len(self.ticks)
+        self.ticks.append(tick)
+        self.actors.append(actor)
+        self.type_codes.append(action_type.col_code)
+        self.status_codes.append(status.col_code)
+        self.api_codes.append(api.col_code)
+        self.target_accounts.append(_NONE if target_account is None else target_account)
+        self.target_medias.append(_NONE if target_media is None else target_media)
+        self.removed_ats.append(_NONE)
+        endpoint_id = self.endpoints.intern(endpoint)
+        self.endpoint_ids.append(endpoint_id)
+        if comment_text is not None:
+            self.comment_texts[action_id] = comment_text
+        self._obs_rows.inc(9)
+        return action_id, endpoint_id
+
+    def __getstate__(self) -> dict:
+        # _obs_rows is included: the counter object is shared with the
+        # study's metrics registry, and pickling the study keeps that
+        # identity, so a restored world's column appends keep counting
+        # into the same instrument (snapshot fidelity is test-enforced)
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    def __setstate__(self, state: dict) -> None:
+        for slot, value in state.items():
+            setattr(self, slot, value)
+        if "_obs_rows" not in state:  # states written before v6 lack it
+            self._obs_rows = NULL_OBS.counter("platform.actionlog.column_appends")
+
+
+class ActionView:
+    """A slotted flyweight decoding one :class:`ActionColumns` row.
+
+    Field-compatible with :class:`~repro.platform.models.ActionRecord`
+    (every consumer is duck-typed over the shared field names), including
+    the mutation surface: :meth:`mark_removed` writes back to the status
+    and ``removed_at`` columns, so a view held by a delayed-removal
+    closure observes and updates live log state. Equality matches the
+    dataclass semantics — same row, equal — and views are unhashable for
+    parity with the (mutable, ``eq=True``) record dataclass.
+    """
+
+    __slots__ = ("_cols", "action_id")
+
+    def __init__(self, cols: ActionColumns, action_id: int):
+        self._cols = cols
+        self.action_id = action_id
+
+    @property
+    def action_type(self) -> ActionType:
+        return _TYPES[self._cols.type_codes[self.action_id]]
+
+    @property
+    def actor(self) -> AccountId:
+        return self._cols.actors[self.action_id]
+
+    @property
+    def tick(self) -> int:
+        return self._cols.ticks[self.action_id]
+
+    @property
+    def endpoint(self) -> ClientEndpoint:
+        return self._cols.endpoints.value(self._cols.endpoint_ids[self.action_id])
+
+    @property
+    def api(self) -> ApiSurface:
+        return _APIS[self._cols.api_codes[self.action_id]]
+
+    @property
+    def status(self) -> ActionStatus:
+        return _STATUSES[self._cols.status_codes[self.action_id]]
+
+    @property
+    def target_account(self) -> Optional[AccountId]:
+        value = self._cols.target_accounts[self.action_id]
+        return None if value == _NONE else value
+
+    @property
+    def target_media(self) -> Optional[MediaId]:
+        value = self._cols.target_medias[self.action_id]
+        return None if value == _NONE else value
+
+    @property
+    def removed_at(self) -> Optional[int]:
+        value = self._cols.removed_ats[self.action_id]
+        return None if value == _NONE else value
+
+    @property
+    def comment_text(self) -> Optional[str]:
+        return self._cols.comment_texts.get(self.action_id)
+
+    @property
+    def asn(self) -> int:
+        return self.endpoint.asn
+
+    @property
+    def day(self) -> int:
+        return self._cols.ticks[self.action_id] // 24
+
+    def mark_removed(self, tick: int) -> None:
+        if self.status is not ActionStatus.DELIVERED:
+            raise ValueError(f"cannot remove action in state {self.status}")
+        self._cols.status_codes[self.action_id] = ActionStatus.REMOVED.col_code
+        self._cols.removed_ats[self.action_id] = tick
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ActionView):
+            return NotImplemented
+        return self._cols is other._cols and self.action_id == other.action_id
+
+    __hash__ = None  # type: ignore[assignment]  # parity with the mutable dataclass
+
+    def __repr__(self) -> str:
+        return (
+            f"ActionView(action_id={self.action_id}, type={self.action_type.value}, "
+            f"actor={self.actor}, tick={self.tick}, status={self.status.value})"
+        )

@@ -27,7 +27,7 @@ from repro.platform.errors import (
     InvalidActionError,
     UnknownAccountError,
 )
-from repro.platform.graph import FollowerGraph
+from repro.platform.graph import FollowerGraph, SetFollowerGraph
 from repro.platform.mediastore import MediaStore
 from repro.platform.models import (
     Account,
@@ -52,15 +52,21 @@ class InstagramPlatform:
         clock: Optional[SimClock] = None,
         removal_delay_ticks: int = days(1),
         obs: Optional[Observability] = None,
+        fast_path: bool = False,
     ):
         self.clock = clock if clock is not None else SimClock()
         #: telemetry handle; platform-adjacent layers (action log, API
         #: limiters, AAS emission counters) pick their instruments off it
         self.obs = obs if obs is not None else NULL_OBS
+        #: columnar data plane (DESIGN.md §11): the SoA follower graph and
+        #: column-backed action log. Off by default so bare platforms run
+        #: the brute-force reference stores — the bit-equivalence oracle;
+        #: ``Study`` forwards its ``StudyConfig.fast_path`` switch here.
+        self.fast_path = fast_path
         self.auth = AuthService()
-        self.graph = FollowerGraph()
-        self.media = MediaStore()
-        self.log = ActionLog(obs=self.obs)
+        self.graph = FollowerGraph() if fast_path else SetFollowerGraph()
+        self.media = MediaStore(cache_owner_views=fast_path)
+        self.log = ActionLog(obs=self.obs, columnar=fast_path)
         self.notifications = NotificationCenter()
         self.countermeasures = CountermeasureEngine(self.clock, removal_delay_ticks)
         self._accounts: dict[AccountId, Account] = {}
@@ -155,20 +161,17 @@ class InstagramPlatform:
         target_media: Optional[MediaId] = None,
         comment_text: Optional[str] = None,
     ) -> ActionRecord:
-        record = ActionRecord(
-            action_id=self.log.next_id(),
-            action_type=action_type,
-            actor=actor,
-            tick=self.clock.now,
-            endpoint=endpoint,
-            api=api,
-            status=status,
+        return self.log.log_action(
+            action_type,
+            actor,
+            self.clock.now,
+            endpoint,
+            api,
+            status,
             target_account=target_account,
             target_media=target_media,
             comment_text=comment_text,
         )
-        self.log.append(record)
-        return record
 
     def _consult_countermeasures(
         self,

@@ -1,0 +1,71 @@
+"""Dense value interning for the columnar hot paths.
+
+The columnar stores (:mod:`repro.platform.graph`,
+:mod:`repro.platform.actions`) keep their hot columns as flat
+``array``-backed integer vectors. Anything that is not naturally a small
+int — client endpoints, fingerprint variants, signature keys — goes
+through an :class:`Interner`, which assigns ids densely in first-seen
+order. First-seen order is a pure function of the simulation event
+sequence, so interned ids are as deterministic as the records they
+encode and snapshot/restore cycles (``repro.fleet``) preserve them: the
+id table is plain dict state and pickles in insertion order.
+
+``AccountId`` itself needs no table: the platform mints account ids from
+a dense counter starting at 1 (``InstagramPlatform._account_ids``), so
+account-keyed columns index lists directly (see
+``FollowerGraph``'s row storage) — the degenerate, zero-cost interner.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Hashable, Iterator, Optional, TypeVar
+
+from repro.obs import NULL_OBS, Observability
+
+T = TypeVar("T", bound=Hashable)
+
+
+class Interner(Generic[T]):
+    """Bidirectional value <-> dense-int mapping, first-seen order.
+
+    ``intern()`` is the hot call: a single dict probe when the value is
+    already known (the overwhelmingly common case — endpoints and
+    variants repeat across millions of records). The reverse table is a
+    list, so decoding an id back to its value is one index.
+    """
+
+    __slots__ = ("_ids", "_values", "_obs_hits", "_obs_misses")
+
+    def __init__(self, obs: Optional[Observability] = None, name: str = "interner"):
+        _obs = obs if obs is not None else NULL_OBS
+        self._ids: dict[T, int] = {}
+        self._values: list[T] = []
+        self._obs_hits = _obs.counter("platform.intern.lookups", table=name, path="hit")
+        self._obs_misses = _obs.counter("platform.intern.lookups", table=name, path="miss")
+
+    def intern(self, value: T) -> int:
+        """The dense id for ``value``, allocating on first sight."""
+        ident = self._ids.get(value)
+        if ident is not None:
+            self._obs_hits.inc()
+            return ident
+        ident = len(self._values)
+        self._ids[value] = ident
+        self._values.append(value)
+        self._obs_misses.inc()
+        return ident
+
+    def lookup(self, value: T) -> Optional[int]:
+        """The id for ``value`` if already interned, else ``None``."""
+        return self._ids.get(value)
+
+    def value(self, ident: int) -> T:
+        """Decode an id back to its value."""
+        return self._values[ident]
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __iter__(self) -> Iterator[T]:
+        """Values in id order (deterministic: first-seen order)."""
+        return iter(self._values)

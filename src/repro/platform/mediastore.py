@@ -12,13 +12,30 @@ from repro.platform.models import AccountId, Media, MediaId
 class MediaStore:
     """Owns all media objects plus their like/comment state."""
 
-    def __init__(self):
+    def __init__(self, cache_owner_views: bool = False):
         self._media: dict[MediaId, Media] = {}
         self._by_owner: dict[AccountId, list[MediaId]] = defaultdict(list)
         self._likers: dict[MediaId, set[AccountId]] = defaultdict(set)
         self._comments: dict[MediaId, list[tuple[AccountId, str]]] = defaultdict(list)
         self._by_hashtag: dict[str, set[MediaId]] = defaultdict(set)
         self._next_id = 0
+        #: fast-path-only memo of ``media_of`` results, invalidated on the
+        #: two mutations that can change them (``create`` appends a live
+        #: media; ``remove_account_media`` tombstones them). ``None`` when
+        #: disabled: the naive oracle rebuilds the list every call.
+        self._of_cache: dict[AccountId, list[Media]] | None = (
+            {} if cache_owner_views else None
+        )
+        #: fast-path-only memo of ``accounts_posting`` results per lowered
+        #: tag, invalidated by the same two mutations (``create`` for the
+        #: new media's tags, ``remove_account_media`` for the tags of the
+        #: owner's media). AAS hashtag targeting re-derives its audience
+        #: every few simulated hours, and each derivation walks every
+        #: media under every targeted tag — the dominant media-store cost
+        #: at scale.
+        self._posting_cache: dict[str, set[AccountId]] | None = (
+            {} if cache_owner_views else None
+        )
 
     def create(self, owner: AccountId, tick: int, caption: str = "", hashtags: tuple[str, ...] = ()) -> Media:
         media = Media(
@@ -31,8 +48,14 @@ class MediaStore:
         self._next_id += 1
         self._media[media.media_id] = media
         self._by_owner[owner].append(media.media_id)
+        if self._of_cache is not None:
+            self._of_cache.pop(owner, None)
+        posting = self._posting_cache
         for tag in hashtags:
-            self._by_hashtag[tag.lower()].add(media.media_id)
+            lowered = tag.lower()
+            self._by_hashtag[lowered].add(media.media_id)
+            if posting is not None:
+                posting.pop(lowered, None)
         return media
 
     def get(self, media_id: MediaId) -> Media:
@@ -42,12 +65,28 @@ class MediaStore:
         return media
 
     def media_of(self, owner: AccountId) -> list[Media]:
-        """Live media belonging to ``owner``, oldest first."""
-        return [
-            self._media[mid]
-            for mid in self._by_owner.get(owner, ())
-            if not self._media[mid].is_removed
-        ]
+        """Live media belonging to ``owner``, oldest first.
+
+        When the owner-view cache is enabled (fast path), repeated calls
+        return the **same** list object until the owner's media change —
+        callers must treat the result as read-only, which every call site
+        already does (they filter or index into it).
+        """
+        cache = self._of_cache
+        if cache is None:
+            return [
+                self._media[mid]
+                for mid in self._by_owner.get(owner, ())
+                if not self._media[mid].is_removed
+            ]
+        media = cache.get(owner)
+        if media is None:
+            media = cache[owner] = [
+                self._media[mid]
+                for mid in self._by_owner.get(owner, ())
+                if not self._media[mid].is_removed
+            ]
+        return media
 
     def like(self, media_id: MediaId, liker: AccountId) -> None:
         """Record a like; double-likes are invalid (Instagram semantics)."""
@@ -95,17 +134,38 @@ class MediaStore:
 
     def accounts_posting(self, tag: str) -> set[AccountId]:
         """Accounts with live media under ``tag`` — how AAS hashtag
-        targeting discovers accounts (paper Section 3.3.1)."""
-        return {media.owner for media in self.media_with_hashtag(tag)}
+        targeting discovers accounts (paper Section 3.3.1).
+
+        Cached per tag on the fast path; like ``media_of``, repeated
+        calls then return the **same** set object until a mutation
+        touches the tag, so callers must treat the result as read-only
+        (the one call site unions it into its own set).
+        """
+        cache = self._posting_cache
+        if cache is None:
+            return {media.owner for media in self.media_with_hashtag(tag)}
+        lowered = tag.lower()
+        owners = cache.get(lowered)
+        if owners is None:
+            owners = cache[lowered] = {
+                media.owner for media in self.media_with_hashtag(lowered)
+            }
+        return owners
 
     def remove_account_media(self, owner: AccountId) -> int:
         """Tombstone all media of a deleted account; returns count removed."""
         removed = 0
+        posting = self._posting_cache
         for media_id in self._by_owner.get(owner, ()):
             media = self._media[media_id]
             if not media.is_removed:
                 media.is_removed = True
                 removed += 1
+            if posting is not None:
+                for tag in media.hashtags:
+                    posting.pop(tag.lower(), None)
+        if self._of_cache is not None:
+            self._of_cache.pop(owner, None)
         return removed
 
     def drop_likes_by(self, account: AccountId) -> int:

@@ -26,11 +26,13 @@ def _valid_payload() -> dict:
                     "warmup": 1,
                     "repetitions": 3,
                     "best_s": 0.5,
+                    "runnerup_s": 0.52,
                     "mean_s": 0.6,
                     "median_s": 0.55,
                     "stdev_s": 0.05,
                     "cv": 0.083,
                 },
+                "peak_rss_kb": 120000,
             }
         ],
         "derived": {
@@ -68,10 +70,14 @@ class TestHarness:
 
     def test_summarize_median_odd_and_even(self) -> None:
         odd = summarize([3.0, 1.0, 2.0], warmup=1)
-        assert (odd.best_s, odd.median_s, odd.mean_s) == (1.0, 2.0, 2.0)
+        assert (odd.best_s, odd.runnerup_s, odd.median_s, odd.mean_s) == (1.0, 2.0, 2.0, 2.0)
         even = summarize([4.0, 1.0, 2.0, 3.0], warmup=0)
         assert even.median_s == 2.5
         assert even.repetitions == 4
+
+    def test_summarize_single_sample_runnerup_is_best(self) -> None:
+        stats = summarize([0.7], warmup=0)
+        assert stats.runnerup_s == stats.best_s == 0.7
 
     def test_summarize_empty_rejected(self) -> None:
         with pytest.raises(ValueError):
@@ -122,10 +128,20 @@ class TestSchema:
         assert validate_payload([1, 2, 3]) != []
 
     def test_missing_dispersion_fields_rejected(self) -> None:
-        for field in ("stdev_s", "cv"):
+        for field in ("stdev_s", "cv", "runnerup_s"):
             payload = _valid_payload()
             del payload["results"][0]["stats"][field]
             assert any(field in e for e in validate_payload(payload))
+
+    def test_missing_peak_rss_rejected(self) -> None:
+        payload = _valid_payload()
+        del payload["results"][0]["peak_rss_kb"]
+        assert any("peak_rss_kb" in e for e in validate_payload(payload))
+
+    def test_negative_peak_rss_rejected(self) -> None:
+        payload = _valid_payload()
+        payload["results"][0]["peak_rss_kb"] = -1
+        assert any("peak_rss_kb" in e for e in validate_payload(payload))
 
     def test_bare_speedup_number_rejected(self) -> None:
         payload = _valid_payload()
