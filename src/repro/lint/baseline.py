@@ -1,0 +1,85 @@
+"""Finding baselines for staged adoption of new rules.
+
+When a new rule family lands, the tree may carry findings that are real
+but cannot all be fixed in the same change. A baseline file records the
+accepted debt: CI subtracts baselined findings and fails only on *new*
+ones, so the rule is enforced for all future code while the backlog
+burns down explicitly (deleting entries as fixes land).
+
+Baselines key on ``(rule, path, message)`` — deliberately **not** on
+line numbers, so unrelated edits that shift a file do not resurrect
+baselined findings. The trade-off: two identical findings in one file
+collapse to a single baseline entry. Messages embed the offending
+symbol names, which keeps collisions rare in practice.
+
+Unlike waivers (a reviewed hole in a rule's coverage, forever) a
+baseline entry is a queue: the file is expected to shrink to empty.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import FrozenSet, List, Sequence, Tuple, Union
+
+from repro.lint.findings import Finding
+
+BASELINE_SCHEMA_VERSION = 1
+
+#: the identity a baseline entry pins (line numbers intentionally absent)
+BaselineKey = Tuple[str, str, str]
+
+
+def baseline_key(finding: Finding) -> BaselineKey:
+    return (finding.rule, finding.path, finding.message)
+
+
+def load_baseline(path: Union[str, Path]) -> FrozenSet[BaselineKey]:
+    """Parse a baseline file; malformed content raises ``ValueError``."""
+    payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(payload, dict) or payload.get("version") != BASELINE_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported baseline schema in {path}: expected version "
+            f"{BASELINE_SCHEMA_VERSION}"
+        )
+    entries = payload.get("entries")
+    if not isinstance(entries, list):
+        raise ValueError(f"baseline {path} has no entry list")
+    keys: set[BaselineKey] = set()
+    for entry in entries:
+        if not isinstance(entry, dict):
+            raise ValueError(f"baseline {path} contains a non-object entry")
+        keys.add((str(entry["rule"]), str(entry["path"]), str(entry["message"])))
+    return frozenset(keys)
+
+
+def write_baseline(findings: Sequence[Finding], path: Union[str, Path]) -> None:
+    """Persist the current findings as the accepted baseline (sorted)."""
+    entries = sorted(
+        {baseline_key(finding) for finding in findings},
+    )
+    payload = {
+        "version": BASELINE_SCHEMA_VERSION,
+        "entries": [
+            {"rule": rule, "path": file_path, "message": message}
+            for rule, file_path, message in entries
+        ],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: FrozenSet[BaselineKey]
+) -> List[Finding]:
+    """Findings not covered by the baseline (the ones that should fail CI)."""
+    return [finding for finding in findings if baseline_key(finding) not in baseline]
+
+
+__all__ = [
+    "BASELINE_SCHEMA_VERSION",
+    "BaselineKey",
+    "apply_baseline",
+    "baseline_key",
+    "load_baseline",
+    "write_baseline",
+]

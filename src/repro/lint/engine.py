@@ -17,56 +17,30 @@ engine drops a finding when a waiver covers its (rule, module) pair.
 from __future__ import annotations
 
 import ast
-import io
-import re
-import tokenize
-from pathlib import Path, PurePosixPath
+from pathlib import Path
 from typing import Iterable, Iterator, Sequence
 
 from repro.lint.findings import PARSE_RULE, Finding
-from repro.lint.rules import ModuleContext, Rule, all_rules
+from repro.lint.rules import ModuleContext, ProjectRule, Rule, all_project_rules, all_rules
+from repro.lint.sources import (
+    SKIP_DIR_NAMES,
+    content_digest,
+    iter_python_files,
+    module_name_for,
+    parse_suppressions,
+)
 from repro.lint.waivers import find_waiver
 
-#: directory names never descended into when a *directory* is linted;
-#: passing such a path explicitly on the command line still lints it
-#: (tests/fixtures/lint holds intentionally-violating corpus files)
-SKIP_DIR_NAMES = frozenset(
-    {"__pycache__", ".git", ".hg", "fixtures", "build", "dist", ".venv", "venv", ".eggs"}
-)
-
-_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*ignore(?:\[([A-Z0-9_,\s]+)\])?")
-
-#: sentinel for a bare ``ignore`` (suppresses every rule on the line)
-_ALL_RULES = frozenset({"*"})
-
-
-def parse_suppressions(source: str) -> dict[int, frozenset[str]]:
-    """Map line number -> rule ids waived there (``{'*'}`` = all).
-
-    Comments are located with :mod:`tokenize` so a ``#`` inside a string
-    literal can never suppress anything. Files broken badly enough that
-    tokenization fails produce no suppressions — their findings stand.
-    """
-    suppressions: dict[int, frozenset[str]] = {}
-    try:
-        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
-        for token in tokens:
-            if token.type != tokenize.COMMENT:
-                continue
-            match = _SUPPRESS_RE.search(token.string)
-            if not match:
-                continue
-            line = token.start[0]
-            if match.group(1) is None:
-                ids = _ALL_RULES
-            else:
-                ids = frozenset(
-                    part.strip() for part in match.group(1).split(",") if part.strip()
-                )
-            suppressions[line] = suppressions.get(line, frozenset()) | ids
-    except (tokenize.TokenError, IndentationError, SyntaxError):
-        pass
-    return suppressions
+__all__ = [
+    "SKIP_DIR_NAMES",
+    "changed_files",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+    "lint_whole_program",
+    "module_name_for",
+    "parse_suppressions",
+]
 
 
 def _is_suppressed(finding: Finding, suppressions: dict[int, frozenset[str]]) -> bool:
@@ -74,27 +48,6 @@ def _is_suppressed(finding: Finding, suppressions: dict[int, frozenset[str]]) ->
     if waived is None:
         return False
     return "*" in waived or finding.rule in waived
-
-
-def module_name_for(path: str) -> str | None:
-    """Dotted module name for files under a ``repro`` package directory.
-
-    Derived purely from the path shape (the last ``repro`` component and
-    everything below it), so it works for ``src/repro/...``, installed
-    trees, and temp-dir copies alike. ``None`` for tests and scripts.
-    """
-    parts = PurePosixPath(path.replace("\\", "/")).parts
-    if "repro" not in parts:
-        return None
-    anchor = len(parts) - 1 - tuple(reversed(parts)).index("repro")
-    module_parts = list(parts[anchor:])
-    leaf = module_parts[-1]
-    if not leaf.endswith(".py"):
-        return None
-    module_parts[-1] = leaf[: -len(".py")]
-    if module_parts[-1] == "__init__":
-        module_parts.pop()
-    return ".".join(module_parts)
 
 
 def lint_source(
@@ -132,30 +85,6 @@ def lint_source(
     return sorted(findings)
 
 
-def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
-    """Expand files/directories into a sorted, de-duplicated .py list.
-
-    Directories are walked recursively, skipping :data:`SKIP_DIR_NAMES`
-    and hidden directories; explicit file arguments are always included.
-    """
-    seen: set[Path] = set()
-    for raw in paths:
-        root = Path(raw)
-        if root.is_file():
-            if root.suffix == ".py" and root not in seen:
-                seen.add(root)
-                yield root
-            continue
-        candidates = sorted(root.rglob("*.py"))
-        for candidate in candidates:
-            relative = candidate.relative_to(root).parts[:-1]
-            if any(part in SKIP_DIR_NAMES or part.startswith(".") for part in relative):
-                continue
-            if candidate not in seen:
-                seen.add(candidate)
-                yield candidate
-
-
 def lint_paths(
     paths: Iterable[str | Path],
     rules: Sequence[Rule] | None = None,
@@ -167,3 +96,60 @@ def lint_paths(
         source = file_path.read_text(encoding="utf-8")
         findings.extend(lint_source(source, file_path.as_posix(), rules=active))
     return sorted(findings)
+
+
+# -- whole-program pass ------------------------------------------------------
+
+
+def lint_whole_program(
+    paths: Iterable[str | Path],
+    rules: Sequence[ProjectRule] | None = None,
+    cache_path: str | Path | None = None,
+    obs: object = None,
+) -> list[Finding]:
+    """Run the cross-module rules over a project index built from ``paths``.
+
+    This is phase two of the analyzer (DESIGN.md §12): phase one builds —
+    or loads from the digest-keyed cache at ``cache_path`` — a
+    :class:`~repro.lint.project.ProjectIndex`, and the project rules then
+    walk that index instead of individual ASTs. Findings flow through the
+    same suppression/waiver machinery as the per-file pass, keyed by the
+    suppression tables the index recorded per file.
+    """
+    from repro.lint.project import build_index
+
+    active = list(rules) if rules is not None else all_project_rules()
+    index = build_index(paths, cache_path=cache_path, obs=obs)
+    findings: list[Finding] = []
+    for rule in active:
+        for finding in rule.check_project(index):
+            facts = index.facts_for_path(finding.path)
+            if facts is not None and _is_suppressed(finding, facts.suppression_map()):
+                continue
+            module = facts.module if facts is not None else module_name_for(finding.path)
+            if find_waiver(finding.rule, module) is not None:
+                continue
+            findings.append(finding)
+    return sorted(findings)
+
+
+def changed_files(
+    paths: Iterable[str | Path],
+    cache_path: str | Path,
+) -> list[Path]:
+    """Files under ``paths`` whose content digest differs from the cache.
+
+    The fast pre-push path: a file whose digest matches its cache entry
+    was already analyzed bit-identically, so re-linting it cannot change
+    the verdict. Files missing from the cache (new, or never indexed)
+    always count as changed.
+    """
+    from repro.lint.project import IndexCache
+
+    cache = IndexCache(Path(cache_path))
+    changed: list[Path] = []
+    for file_path in iter_python_files(paths):
+        source = file_path.read_text(encoding="utf-8")
+        if cache.lookup(file_path.as_posix(), content_digest(source)) is None:
+            changed.append(file_path)
+    return changed

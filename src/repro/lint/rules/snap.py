@@ -1,0 +1,194 @@
+"""SNAP rules: the fleet spawn/pickle surface must stay snapshot-safe.
+
+``repro.fleet`` ships work to spawn-context workers and persists prefix
+snapshots by pickling: replica specs, study state, and results all cross
+a process or disk boundary by value. PR 6 defends that boundary at
+*runtime* with config/rng digests; these rules defend it *statically*,
+catching the failure class before a 200-replica sweep trips on it:
+
+* SNAP001 — values on the spawn surface (fleet arm registries,
+  ``ReplicaSpec`` arguments, pool submissions) and classes reachable
+  from the pickled roots must be module-level and closure-free. A lambda
+  or nested def pickles as a dead reference; a nested class cannot be
+  re-imported by qualified name in the worker.
+* SNAP002 — registry/submission values must resolve to a qualified name.
+  ``functools.partial`` and call results smuggle captured arguments past
+  the name-based arm resolution that makes worker dispatch replayable.
+* SNAP003 — classes reachable from the pickled roots must keep
+  ``__getstate__``/``__setstate__`` paired. Defining one without the
+  other round-trips state asymmetrically: the envelope either drops
+  fields on write or fails to restore them on read, and the runtime rng
+  digest check only catches the subset that perturbs the rng.
+
+Reachability is the transitive closure from the fleet spec classes
+(``repro.fleet.spec``) and ``repro.core.*.Study`` over base classes and
+attribute-type edges recorded in the project index.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, ClassVar, Iterator, List, Set, Tuple
+
+from repro.lint.findings import Finding
+from repro.lint.rules.base import ProjectRule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.project import ClassFacts, ModuleFacts, ProjectIndex
+
+#: module whose classes form the pickled fleet boundary (specs + results)
+_SPEC_MODULE = "repro.fleet.spec"
+
+
+def _pickle_roots(index: "ProjectIndex") -> List[str]:
+    """Qualnames of the classes that cross the spawn/snapshot boundary."""
+    roots: List[str] = []
+    for qual, facts, cls in index.iter_classes():
+        if facts.module == _SPEC_MODULE:
+            roots.append(qual)
+        elif cls.name == "Study" and (
+            facts.module is not None and facts.module.startswith("repro.core")
+        ):
+            roots.append(qual)
+    return roots
+
+
+def _reachable_classes(
+    index: "ProjectIndex",
+) -> List[Tuple[str, "ModuleFacts", "ClassFacts"]]:
+    """BFS over base-class and attribute-type edges from the pickle roots."""
+    seen: Set[str] = set()
+    queue = _pickle_roots(index)
+    out: List[Tuple[str, "ModuleFacts", "ClassFacts"]] = []
+    while queue:
+        qual = queue.pop()
+        if qual in seen:
+            continue
+        seen.add(qual)
+        hit = index.class_facts(qual)
+        if hit is None:
+            continue
+        facts, cls = hit
+        out.append((qual, facts, cls))
+        for base in cls.bases:
+            queue.append(index.resolve_export(base))
+        for type_names in cls.attr_types.values():
+            for name in type_names:
+                queue.append(index.resolve_export(name))
+    return sorted(out, key=lambda item: item[0])
+
+
+class SpawnSurfaceCallableRule(ProjectRule):
+    """SNAP001 — spawn-surface callables/classes must be module-level."""
+
+    rule_id: ClassVar[str] = "SNAP001"
+    summary: ClassVar[str] = (
+        "fleet arm registries, ReplicaSpec arguments, pool submissions, and "
+        "classes reachable from the pickled fleet roots must be module-level "
+        "and closure-free; lambdas and nested defs cannot cross the spawn "
+        "boundary by qualified name"
+    )
+
+    def check_project(self, index: "ProjectIndex") -> Iterator[Finding]:
+        for facts in index.iter_repro_modules():
+            for site in facts.spawn_sites:
+                if site.value_kind == "lambda":
+                    yield self.finding(
+                        facts.path,
+                        site.line,
+                        site.col,
+                        f"lambda placed on the fleet spawn surface ({site.context}); "
+                        "spawn workers resolve callables by qualified name, which a "
+                        "lambda does not have — define a module-level function",
+                    )
+                elif site.value_kind in ("name", "dotted") and site.value_ref:
+                    hit = index.function_facts(site.value_ref)
+                    if hit is not None and hit[1].nested:
+                        yield self.finding(
+                            facts.path,
+                            site.line,
+                            site.col,
+                            f"`{site.value_ref}` on the fleet spawn surface "
+                            f"({site.context}) is a nested function; closures do "
+                            "not pickle — hoist it to module level",
+                        )
+        for qual, facts, cls in _reachable_classes(index):
+            if cls.nested:
+                yield self.finding(
+                    facts.path,
+                    cls.line,
+                    cls.col,
+                    f"class `{qual}` is reachable from the pickled fleet roots "
+                    "but is not defined at module level; pickle restores classes "
+                    "by qualified import, which a nested class defeats",
+                )
+
+
+class SpawnSurfaceResolvableRule(ProjectRule):
+    """SNAP002 — spawn-surface values must resolve by qualified name."""
+
+    rule_id: ClassVar[str] = "SNAP002"
+    summary: ClassVar[str] = (
+        "values on the fleet spawn surface must be resolvable by qualified "
+        "name; functools.partial and call results capture state that bypasses "
+        "the name-based arm resolution workers replay"
+    )
+
+    def check_project(self, index: "ProjectIndex") -> Iterator[Finding]:
+        for facts in index.iter_repro_modules():
+            for site in facts.spawn_sites:
+                if site.value_kind == "partial":
+                    yield self.finding(
+                        facts.path,
+                        site.line,
+                        site.col,
+                        f"functools.partial on the fleet spawn surface "
+                        f"({site.context}); captured arguments bypass the "
+                        "name-based arm resolution — pass options through "
+                        "ReplicaSpec.arm_options instead",
+                    )
+                elif site.value_kind == "call":
+                    yield self.finding(
+                        facts.path,
+                        site.line,
+                        site.col,
+                        f"call result `{site.value_ref}(...)` on the fleet spawn "
+                        f"surface ({site.context}); registry entries and "
+                        "submissions must name a module-level callable so "
+                        "workers can re-resolve it deterministically",
+                    )
+
+
+class SnapshotStatePairingRule(ProjectRule):
+    """SNAP003 — reachable classes keep __getstate__/__setstate__ paired."""
+
+    rule_id: ClassVar[str] = "SNAP003"
+    summary: ClassVar[str] = (
+        "classes reachable from the pickled fleet roots must define "
+        "__getstate__ and __setstate__ together (or neither); an unpaired "
+        "override round-trips snapshot state asymmetrically"
+    )
+
+    def check_project(self, index: "ProjectIndex") -> Iterator[Finding]:
+        for qual, facts, cls in _reachable_classes(index):
+            if cls.has_getstate == cls.has_setstate:
+                continue
+            present, missing = (
+                ("__getstate__", "__setstate__")
+                if cls.has_getstate
+                else ("__setstate__", "__getstate__")
+            )
+            yield self.finding(
+                facts.path,
+                cls.line,
+                cls.col,
+                f"class `{qual}` is pickled across the fleet boundary and "
+                f"defines {present} without {missing}; unpaired state hooks "
+                "restore snapshots asymmetrically — define both or neither",
+            )
+
+
+SNAP_RULES: tuple[type[ProjectRule], ...] = (
+    SpawnSurfaceCallableRule,
+    SpawnSurfaceResolvableRule,
+    SnapshotStatePairingRule,
+)

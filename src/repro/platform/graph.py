@@ -345,6 +345,11 @@ class FollowerGraph:
         state["_csr_edges"] = -1
         return state
 
+    def __setstate__(self, state: dict) -> None:
+        # the explicit twin of __getstate__ (SNAP003): restore the raw
+        # columns as-is; views and the CSR rebuild lazily on first read
+        self.__dict__.update(state)
+
 
 class SetFollowerGraph:
     """The brute-force reference graph (the naive path's oracle)."""

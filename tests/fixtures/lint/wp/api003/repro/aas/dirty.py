@@ -1,0 +1,37 @@
+"""API003 corpus: RNG provenance violations (and their clean twins)."""
+
+import random
+
+from repro.util.rng import derive_rng
+
+# positive: unsanctioned constructor minting ambient state
+GEN = random.Random(7)
+
+# positive: sanctioned root laundered into a module global
+SHARED = derive_rng(0, "shared")
+
+
+def _make_rng():
+    # the helper is fine by itself; the fixpoint marks it rng-returning
+    return derive_rng(1, "laundered")
+
+
+# positive: laundering through a local rng-returning helper
+LAUNDERED = _make_rng()
+
+
+# positive: RNG frozen into a default argument at import time
+def sample(count, rng=derive_rng(2, "default")):
+    return rng
+
+
+# negative: injected rng parameter, drawn from but never minted here
+def draw(rng):
+    return rng.random()
+
+
+# negative: a call-valued global that has nothing to do with rng
+LOOKUP = dict(a=1)
+
+# suppressed: same ctor violation, waived with a justification
+QUIET = random.Random(9)  # repro-lint: ignore[API003] -- fixture: suppression path

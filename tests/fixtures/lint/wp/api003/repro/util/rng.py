@@ -1,0 +1,20 @@
+"""Fixture stand-in for the real RNG shim (whole-program corpus).
+
+Declares the same ``RNG_ROOTS`` contract the analyzer reads from the
+real ``repro.util.rng``, so taint resolution in this fixture package
+behaves exactly like it does over ``src/``.
+"""
+
+RNG_ROOTS = ("derive_rng", "SeedSequenceFactory")
+
+
+def derive_rng(seed, label):
+    return object()
+
+
+class SeedSequenceFactory:
+    def __init__(self, seed):
+        self.seed = seed
+
+    def get(self, label):
+        return object()

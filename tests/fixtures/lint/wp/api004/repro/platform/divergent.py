@@ -1,0 +1,49 @@
+"""API004 corpus: fast/naive branches drawing in different sequences."""
+
+
+# positive: the naive twin draws normal() where the fast branch draws random()
+def emit(world, rng, fast_path):
+    if fast_path:
+        first = rng.integers(10)
+        second = rng.random()
+    else:
+        first = rng.integers(10)
+        second = rng.normal()
+    return first + second
+
+
+# positive: inverted test — the orelse is the fast branch and draws extra
+def emit_inverted(world, rng, fast_path):
+    if not fast_path:
+        total = rng.random()
+    else:
+        total = rng.random() + rng.random()
+    return total
+
+
+# positive: conditional expression twins diverge too
+def pick(rng, fast_path):
+    return rng.random() if fast_path else rng.integers(2)
+
+
+# negative: both branches advance the stream identically
+def aligned(world, rng, fast_path):
+    if fast_path:
+        value = rng.random()
+    else:
+        value = rng.random()
+    return value
+
+
+# negative: fast_path selects storage, no draws at all
+def select_store(fast_path):
+    if fast_path:
+        return []
+    return {}
+
+
+# suppressed: divergent draws, waived with a justification
+def quiet(rng, fast_path):
+    if fast_path:  # repro-lint: ignore[API004] -- fixture: suppression path
+        return rng.random()
+    return rng.integers(3)

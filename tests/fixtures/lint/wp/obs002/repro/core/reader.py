@@ -1,0 +1,29 @@
+"""OBS002 corpus: reads of obs state outside repro/obs/."""
+
+
+# positive: metrics snapshot read back into returned data
+def peek(obs):
+    return obs.metrics.snapshot()
+
+
+# positive: a cross-module instrument attribute steering control flow
+def steer(tracker):
+    if tracker._hits.value > 3:
+        return "throttle"
+    return "steady"
+
+
+# negative: writes are fine — obs stays write-only
+def count(obs):
+    obs.counter("fixture.reader.calls").inc()
+    return None
+
+
+# negative: enum-style .value on an attribute that never holds an instrument
+def kind_of(entry):
+    return entry.kind.value
+
+
+# suppressed: same snapshot read, waived with a justification
+def quiet(obs):
+    return obs.metrics.snapshot()  # repro-lint: ignore[OBS002] -- fixture: suppression path

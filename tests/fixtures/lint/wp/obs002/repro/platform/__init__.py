@@ -1,0 +1,5 @@
+"""Package API re-export (exercises the index's re-export chasing)."""
+
+from repro.platform.counted import Tracker
+
+__all__ = ["Tracker"]

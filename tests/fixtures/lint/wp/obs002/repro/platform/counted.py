@@ -1,0 +1,11 @@
+"""OBS002 corpus: an instrumented class that only ever writes."""
+
+
+class Tracker:
+    """Negative by itself: instrument writes are the sanctioned direction."""
+
+    def __init__(self, obs):
+        self._hits = obs.counter("fixture.tracker.hits")
+
+    def record(self):
+        self._hits.inc()

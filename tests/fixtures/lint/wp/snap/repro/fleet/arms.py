@@ -1,0 +1,47 @@
+"""SNAP corpus: the arm registry and pool-submission spawn surface."""
+
+import functools
+
+from repro.fleet.spec import ReplicaSpec
+
+
+def good_arm(study, options):
+    return {}
+
+
+def _outer():
+    def inner_arm(study, options):
+        return {}
+
+    return inner_arm
+
+
+ARMS = {
+    # negative: module-level function, resolvable by qualified name
+    "good": good_arm,
+    # positive SNAP001: a lambda cannot cross the spawn boundary
+    "bad": lambda study, options: {},
+}
+
+# positive SNAP002: partial captures state the name-based resolution loses
+ARMS["partial"] = functools.partial(good_arm)
+
+# positive SNAP002: a call result is not re-resolvable in the worker
+ARMS["built"] = _outer()
+
+# suppressed: same lambda violation, waived with a justification
+QUIET_ARMS = {
+    "bad": lambda study, options: {},  # repro-lint: ignore[SNAP001] -- fixture: suppression path
+}
+
+
+def build_bad_spec(config):
+    # positive SNAP001: closure smuggled into a ReplicaSpec argument
+    return ReplicaSpec(hook=lambda study: study)
+
+
+def run(pool, group):
+    # positive SNAP001: lambda submitted to the spawn pool
+    pool.submit(lambda: group)
+    # negative: module-level function submitted by name
+    return pool.submit(good_arm, group)

@@ -1,0 +1,33 @@
+"""SNAP corpus: the pickled fleet boundary (specs and their state)."""
+
+
+class BadState:
+    """Positive SNAP003: __getstate__ without its __setstate__ twin."""
+
+    def __getstate__(self):
+        return {}
+
+
+class GoodState:
+    """Negative SNAP003: both hooks paired."""
+
+    def __getstate__(self):
+        return {}
+
+    def __setstate__(self, state):
+        return None
+
+
+class PlainState:
+    """Negative SNAP003: neither hook — default reduce is symmetric."""
+
+    def __init__(self):
+        self.rows = []
+
+
+class ReplicaSpec:
+    """Fixture pickle root; everything its attributes reach is checked."""
+
+    payload: BadState
+    extra: GoodState
+    plain: PlainState
