@@ -9,6 +9,11 @@ Commands:
   over worker processes; output is byte-identical for any N).
 * ``run-interventions`` — continue with the narrow and broad
   intervention experiments and print the Figure 5-7 series.
+* ``sweep`` — expand a declarative manifest (seeds × populations ×
+  honeypot ablations × service mixes × arm grids) into a replica fleet,
+  run it through the tree-reuse orchestrator, and print the merged
+  payload; ``--store DIR`` persists prefix snapshots across
+  invocations.
 * ``list-presets`` — show the available scale presets.
 
 Example::
@@ -16,6 +21,7 @@ Example::
     python -m repro run-study --preset tiny --seed 7
     python -m repro run-study --preset small --output report.txt
     python -m repro run-interventions --preset tiny
+    python -m repro sweep manifest.json --workers 4 --store .snapcache
 
 Progress comes from the study's own ``repro.obs`` phase spans:
 ``--verbose`` attaches a console reporter to them, and ``--trace PATH``
@@ -109,6 +115,53 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=0,
         help="defender re-learns signatures every N days (0 = frozen defender)",
+    )
+
+    sweep = subparsers.add_parser(
+        "sweep", help="run a declarative sweep manifest through the fleet orchestrator"
+    )
+    sweep.add_argument("manifest", help="path to a sweep manifest JSON file")
+    sweep.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "worker processes (default: REPRO_WORKERS or 1); merged "
+            "output is byte-identical for any value"
+        ),
+    )
+    sweep.add_argument(
+        "--store",
+        type=str,
+        default="",
+        help=(
+            "disk snapshot store directory: prefix snapshots persist "
+            "here across invocations (created if missing)"
+        ),
+    )
+    sweep.add_argument(
+        "--store-max-bytes",
+        type=int,
+        default=None,
+        help="LRU-evict the disk store past this many bytes",
+    )
+    sweep.add_argument(
+        "--strategy",
+        choices=["tree", "flat", "no-reuse"],
+        default="tree",
+        help="prefix reuse strategy (default: tree; others are baselines)",
+    )
+    sweep.add_argument(
+        "--output", type=str, default="", help="write the merged payload to a file instead of stdout"
+    )
+    sweep.add_argument(
+        "--trace",
+        type=str,
+        default="",
+        help=(
+            "write the merged sweep trace (fleet roll-up segment + one "
+            "segment per replica) to this path"
+        ),
     )
 
     subparsers.add_parser("list-presets", help="show available scale presets")
@@ -247,6 +300,45 @@ def cmd_run_epilogue(args, out: TextIO) -> int:
     return 0
 
 
+def cmd_sweep(args, out: TextIO) -> int:
+    from repro.core.config import resolve_workers
+    from repro.fleet import (
+        FleetRunner,
+        ManifestError,
+        SnapshotStore,
+        expand_manifest,
+        load_manifest,
+    )
+    from repro.obs.trace import render_trace
+
+    try:
+        manifest = load_manifest(args.manifest)
+    except ManifestError as exc:
+        raise SystemExit(f"sweep: {exc}")
+    specs = expand_manifest(manifest)
+    store = (
+        SnapshotStore(args.store, max_bytes=args.store_max_bytes) if args.store else None
+    )
+    runner = FleetRunner(
+        workers=resolve_workers(args.workers), strategy=args.strategy, store=store
+    )
+    result = runner.run(specs)
+    out.write(result.merged_payload_text())
+    if args.trace:
+        lines = result.fleet_trace_segment() + result.merged_trace_lines()
+        with open(args.trace, "w", encoding="utf-8") as handle:
+            handle.write(render_trace(lines))
+        print(f"Wrote sweep trace to {args.trace}", file=sys.stderr)
+    print(
+        f"sweep {manifest.name}: {len(result.replicas)} replicas, "
+        f"strategy={result.strategy}, phase builds {result.phase_builds}/"
+        f"{result.phase_units} "
+        f"(build cost avoided {result.build_cost_avoided_frac:.1%})",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def cmd_list_presets(args, out: TextIO) -> int:
     for name, factory in sorted(PRESETS.items()):
         config = factory(42)
@@ -273,6 +365,7 @@ def _dispatch(args, out: TextIO) -> int:
         "run-study": cmd_run_study,
         "run-interventions": cmd_run_interventions,
         "run-epilogue": cmd_run_epilogue,
+        "sweep": cmd_sweep,
         "list-presets": cmd_list_presets,
     }
     return handlers[args.command](args, out)

@@ -150,13 +150,17 @@ class ProcessMachineryRule(Rule):
 
     rule_id: ClassVar[str] = "ARCH004"
     summary: ClassVar[str] = (
-        "multiprocessing / concurrent.futures / pickle imports are "
-        "confined to repro/fleet/; everywhere else they smuggle in "
-        "process topology or serialized state the determinism contract "
-        "can't see (fleet owns the snapshot envelope and the spawn pool)"
+        "multiprocessing / concurrent.futures / pickle / tempfile / "
+        "shutil imports are confined to repro/fleet/; everywhere else "
+        "they smuggle in process topology, serialized state, or "
+        "filesystem scratch space the determinism contract can't see "
+        "(fleet owns the snapshot envelope, the spawn pool, and the "
+        "disk snapshot store)"
     )
 
-    _banned_roots = frozenset({"multiprocessing", "pickle", "concurrent"})
+    _banned_roots = frozenset(
+        {"multiprocessing", "pickle", "concurrent", "tempfile", "shutil"}
+    )
 
     def _offends(self, module: str) -> bool:
         return module.split(".")[0] in self._banned_roots

@@ -26,7 +26,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.obs.metrics import format_metric
 from repro.obs.schema import validate_trace
-from repro.obs.trace import read_trace_lines
+from repro.obs.trace import read_trace_lines, split_segments
 
 _SeriesKey = Tuple[str, Tuple[Tuple[str, str], ...], str]
 
@@ -162,7 +162,100 @@ def _hot_phases_section(
     return "\n".join(rows)
 
 
+def _sweep_view(paths: Sequence[str]) -> int:
+    """One table for a whole sweep: the fleet roll-up + per-replica rows.
+
+    A sweep trace (``python -m repro sweep --trace``) leads with a
+    fleet-level segment whose header meta carries the orchestrator's
+    cost ledger and whose snapshot carries the ``fleet.*`` counters;
+    every later segment is one replica. Ordinary multi-segment fleet
+    traces (no fleet segment) still get the per-replica table.
+    """
+    fleet_meta: Optional[Dict[str, object]] = None
+    fleet_entries: List[Dict[str, object]] = []
+    rows: List[Tuple[str, str, str, int, int]] = []
+    segments = 0
+    for path in paths:
+        lines = _load(path)
+        for segment in split_segments(lines):
+            segments += 1
+            header = segment[0]
+            assert isinstance(header, dict)
+            meta = header.get("meta")
+            meta = meta if isinstance(meta, dict) else {}
+            fleet_block = meta.get("fleet")
+            if isinstance(fleet_block, dict):
+                fleet_meta = fleet_block
+                fleet_entries = [
+                    entry
+                    for entries in _all_snapshot_entries(segment)
+                    for entry in entries
+                ]
+                continue
+            span_lines = _span_lines(segment)
+            ticks = 0
+            for span in span_lines:
+                start, end = span.get("start_tick"), span.get("end_tick")
+                if isinstance(start, int) and isinstance(end, int):
+                    ticks += end - start
+            replica = meta.get("replica") or header.get("replica") or "?"
+            reused = meta.get("prefix_reused")
+            rows.append(
+                (
+                    str(replica),
+                    str(meta.get("arm", "-")),
+                    "yes" if reused else ("no" if reused is not None else "-"),
+                    len(span_lines),
+                    ticks,
+                )
+            )
+    sections: List[str] = []
+    if fleet_meta is not None:
+        avoided = fleet_meta.get("build_cost_avoided_frac")
+        avoided_text = (
+            f"{float(avoided):.1%}" if isinstance(avoided, (int, float)) else "-"
+        )
+        sections.append(
+            f"Sweep: {fleet_meta.get('replica_count')} replicas  "
+            f"strategy={fleet_meta.get('strategy')}  "
+            f"groups={fleet_meta.get('prefix_groups')}  "
+            f"phase builds {fleet_meta.get('phase_builds')}/"
+            f"{fleet_meta.get('phase_units')}  "
+            f"build cost avoided {avoided_text}"
+        )
+    else:
+        sections.append(f"Sweep: {segments} trace segment(s), no fleet roll-up segment")
+    counter_rows = [
+        (_entry_display(entry), entry.get("value"))
+        for entry in fleet_entries
+        if entry.get("type") in ("counter", "gauge")
+    ]
+    if counter_rows:
+        width = max(len(display) for display, _ in counter_rows)
+        body = ["Fleet counters:"] + [
+            f"  {display:<{width}}  {_fmt_number(value)}" for display, value in counter_rows
+        ]
+        sections.append("\n".join(body))
+    if rows:
+        name_width = max(max(len(row[0]) for row in rows), len("replica"))
+        arm_width = max(max(len(row[1]) for row in rows), len("arm"))
+        body = ["Replicas:"]
+        body.append(
+            f"  {'replica':<{name_width}}  {'arm':<{arm_width}}  reused  spans  ticks"
+        )
+        for name, arm, reused, spans, ticks in rows:
+            body.append(
+                f"  {name:<{name_width}}  {arm:<{arm_width}}  "
+                f"{reused:<6}  {spans:>5}  {ticks}"
+            )
+        sections.append("\n".join(body))
+    print("\n\n".join(sections))
+    return 0
+
+
 def cmd_summarize(args: argparse.Namespace) -> int:
+    if getattr(args, "sweep", False):
+        return _sweep_view(args.traces)
     spans: List[Dict[str, object]] = []
     snapshots: List[List[Dict[str, object]]] = []
     for path in args.traces:
@@ -327,6 +420,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="JSONL trace path(s); several (or a fleet-merged file) are merged",
     )
     summarize.add_argument("--top", type=int, default=20, help="span rows to show (default 20)")
+    summarize.add_argument(
+        "--sweep",
+        action="store_true",
+        help=(
+            "sweep view: print the fleet roll-up segment (strategy, phase "
+            "ledger, fleet.* counters) plus one row per replica segment"
+        ),
+    )
     summarize.add_argument(
         "--hot-phases",
         action="store_true",

@@ -141,3 +141,78 @@ class TestRunStudyFleet:
         for bad in ("", "1,two", "3,3"):
             with pytest.raises(SystemExit):
                 main(["run-study", "--preset", "tiny", "--seeds", bad or ","])
+
+
+class TestSweep:
+    def _write_manifest(self, tmp_path, **overrides):
+        import json
+
+        document = {
+            "schema_version": 1,
+            "name": "cli-smoke",
+            "preset": "tiny",
+            "seeds": [5],
+            "honeypot_days": [2],
+            "measurement_days": [1],
+            "arms": [{"arm": "standard"}],
+        }
+        document.update(overrides)
+        path = tmp_path / "manifest.json"
+        path.write_text(json.dumps(document))
+        return str(path)
+
+    def test_sweep_runs_merges_and_traces(self, tmp_path, capsys):
+        import json
+
+        from repro.fleet import FLEET_TRACE_REPLICA
+        from repro.obs import read_trace_lines, split_segments, validate_trace
+
+        manifest = self._write_manifest(tmp_path)
+        payload_path = tmp_path / "payload.json"
+        trace_path = tmp_path / "sweep.jsonl"
+        store_root = tmp_path / "store"
+        assert main(
+            ["sweep", manifest, "--output", str(payload_path),
+             "--trace", str(trace_path), "--store", str(store_root)]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "sweep cli-smoke: 1 replicas, strategy=tree" in err
+
+        payload = json.loads(payload_path.read_text())
+        assert payload["replica_count"] == 1
+        assert payload["replicas"][0]["name"] == "seed-5/hp2/md1/standard"
+        assert payload["snapshot"]["strategy"] == "tree"
+        assert payload["snapshot"]["store"]["writes"] == 3
+
+        lines = read_trace_lines(trace_path)
+        assert validate_trace(lines) == []
+        segments = split_segments(lines)
+        assert segments[0][0]["replica"] == FLEET_TRACE_REPLICA
+        assert [seg[0]["replica"] for seg in segments[1:]] == ["seed-5/hp2/md1/standard"]
+
+        # a warm rerun against the same store rebuilds nothing and the
+        # replica payloads are unchanged
+        warm_path = tmp_path / "warm.json"
+        assert main(
+            ["sweep", manifest, "--output", str(warm_path), "--store", str(store_root)]
+        ) == 0
+        capsys.readouterr()
+        warm = json.loads(warm_path.read_text())
+        assert warm["snapshot"]["prefix_builds"] == 0
+        assert warm["snapshot"]["build_cost_avoided_frac"] == 1.0
+        assert all(replica["prefix_reused"] for replica in warm["replicas"])
+        assert [replica["payload"] for replica in warm["replicas"]] == [
+            replica["payload"] for replica in payload["replicas"]
+        ]
+
+    def test_sweep_rejects_bad_manifest(self, tmp_path, capsys):
+        manifest = self._write_manifest(tmp_path, preset="galactic")
+        with pytest.raises(SystemExit, match="unknown preset"):
+            main(["sweep", manifest])
+
+    def test_sweep_parser_defaults(self):
+        args = build_parser().parse_args(["sweep", "manifest.json"])
+        assert args.strategy == "tree"
+        assert args.store == ""
+        assert args.store_max_bytes is None
+        assert args.workers is None

@@ -20,10 +20,15 @@ from repro.fleet import (
     FleetRunner,
     ReplicaResult,
     ReplicaSpec,
+    SnapshotCache,
+    SnapshotStore,
+    materialize_tree,
+    remove_store_root,
     resolve_arm,
     seed_sweep,
+    temporary_store_root,
 )
-from repro.obs import split_segments
+from repro.obs import Observability, split_segments
 from repro.obs.schema import validate_trace
 
 SEEDS = (21, 22)
@@ -90,11 +95,22 @@ class TestMergeContract:
             assert [replica.name for replica in fleet.replicas] == expected
 
     def test_prefix_sharing_stats(self, fleets) -> None:
+        # two seeds, nothing shared between them: each grows a full
+        # world → honeypot → signatures chain (3 node builds), and the
+        # two arms of a seed share that chain's leaf
         for fleet in fleets.values():
+            assert fleet.strategy == "tree"
             assert fleet.prefix_groups == len(SEEDS)
-            assert fleet.prefix_builds == len(SEEDS)
-            assert fleet.prefix_restores == len(fleet.replicas)
+            assert fleet.prefix_builds == 3 * len(SEEDS)
+            # restores: every non-root node restores its parent blob
+            # (2 per seed), then every replica restores its leaf
+            assert fleet.prefix_restores == 2 * len(SEEDS) + len(fleet.replicas)
+            assert fleet.phase_units == sum(spec.depth for spec in _specs())
+            assert fleet.phase_builds == fleet.prefix_builds
             assert fleet.build_cost_avoided_frac == 0.5
+            assert fleet.tree_stats is not None
+            assert fleet.tree_stats["depth"] == 3
+            assert fleet.tree_stats["nodes"] == 3 * len(SEEDS)
 
     def test_first_replica_of_each_group_pays_the_build(self, fleets) -> None:
         for fleet in fleets.values():
@@ -132,6 +148,105 @@ class TestPrefixReuseEquivalence:
             assert with_cache.payload == without_cache.payload
             assert with_cache.trace is not None
             assert strip(with_cache.trace) == strip(without_cache.trace)
+
+
+class TestStrategyEquivalence:
+    """Flat, tree, and warm-store runs differ in scheduling only."""
+
+    def test_flat_and_tree_payloads_identical(self, fleets) -> None:
+        flat = FleetRunner(workers=1, strategy="flat").run(_specs())
+        tree = fleets[1]
+        assert flat.strategy == "flat"
+        assert [r.payload for r in flat.replicas] == [r.payload for r in tree.replicas]
+        assert flat.phase_units == tree.phase_units
+        # same specs, different ledgers: flat rebuilt nothing extra here
+        # (the two seeds share nothing), so the costs happen to agree
+        assert flat.prefix_groups == len(SEEDS)
+
+    def test_warm_store_run_builds_nothing(self, fleets) -> None:
+        root = temporary_store_root()
+        try:
+            materialize_tree(_specs(), SnapshotStore(root))
+            warm = FleetRunner(
+                workers=1, strategy="tree", store=SnapshotStore(root)
+            ).run(_specs())
+            assert warm.prefix_builds == 0
+            assert warm.build_cost_avoided_frac == 1.0
+            assert all(replica.prefix_reused for replica in warm.replicas)
+            assert warm.store_stats is not None
+            assert warm.store_stats["hits"] == warm.tree_stats["nodes"]
+            assert [r.payload for r in warm.replicas] == [
+                r.payload for r in fleets[1].replicas
+            ]
+        finally:
+            remove_store_root(root)
+
+    def test_corrupt_store_node_degrades_to_rebuild(self, fleets) -> None:
+        import os
+
+        root = temporary_store_root()
+        try:
+            plan = materialize_tree(_specs(), SnapshotStore(root))
+            victim = plan.levels[-1][0]
+            path = os.path.join(root, "envelopes", victim + ".snap")
+            with open(path, "rb") as handle:
+                data = handle.read()
+            with open(path, "wb") as handle:
+                handle.write(data[: len(data) // 3])
+            store = SnapshotStore(root)
+            result = FleetRunner(workers=1, strategy="tree", store=store).run(_specs())
+            assert store.corruptions == 1
+            assert result.prefix_builds == 1  # only the truncated node
+            assert [r.payload for r in result.replicas] == [
+                r.payload for r in fleets[1].replicas
+            ]
+        finally:
+            remove_store_root(root)
+
+
+class TestBoundedCache:
+    def test_entry_bound_evicts_lru_and_counts(self) -> None:
+        obs = Observability(enabled=True)
+        cache = SnapshotCache(max_entries=2, obs=obs)
+        cache.put_blob("a", b"aa")
+        cache.put_blob("b", b"bb")
+        assert cache.get_blob("a") == b"aa"  # refresh a above b
+        cache.put_blob("c", b"cc")
+        assert cache.get_blob("b") is None
+        assert cache.get_blob("a") == b"aa"
+        assert cache.evictions == 1
+        entries = {
+            (entry["name"], entry["type"]): entry
+            for entry in obs.metrics.snapshot()["metrics"]
+        }
+        assert entries[("fleet.snapshot.evictions", "counter")]["value"] == 1
+        assert entries[("fleet.snapshot.bytes", "gauge")]["value"] == cache.bytes_cached
+
+    def test_byte_bound_holds(self) -> None:
+        cache = SnapshotCache(max_bytes=100)
+        for index in range(6):
+            cache.put_blob(f"k{index}", bytes([index]) * 40)
+        assert cache.bytes_cached <= 100
+        assert len(cache) == 2
+        assert cache.evictions == 4
+
+    def test_invalid_bounds_rejected(self) -> None:
+        with pytest.raises(ValueError, match="max_entries"):
+            SnapshotCache(max_entries=0)
+        with pytest.raises(ValueError, match="max_bytes"):
+            SnapshotCache(max_bytes=0)
+
+    def test_bounded_cache_changes_costs_not_payloads(self, fleets) -> None:
+        # a one-entry cache forces rebuilds the unbounded run avoided,
+        # but the replica bytes must not notice
+        tight = FleetRunner(
+            workers=1, strategy="tree", cache=SnapshotCache(max_entries=1)
+        ).run(_specs())
+        assert tight.cache_stats is not None
+        assert tight.cache_stats["entries"] <= 1
+        assert [r.payload for r in tight.replicas] == [
+            r.payload for r in fleets[1].replicas
+        ]
 
 
 class TestRunnerValidation:

@@ -1,0 +1,185 @@
+"""Disk snapshot store: integrity, atomicity, LRU bounds, reconciliation.
+
+No studies are built here — the store is bytes-in/bytes-out, so these
+tests drive it with small synthetic blobs and check the envelope
+contract directly: verified reads, corruption degrading to a miss (and
+the bad file being deleted), sequence-based LRU eviction, and the index
+reconciling itself against the envelope directory across instances.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.fleet import SnapshotStore, remove_store_root, temporary_store_root
+from repro.obs import Observability
+
+
+@pytest.fixture()
+def root():
+    path = temporary_store_root()
+    yield path
+    remove_store_root(path)
+
+
+def _envelope_path(store: SnapshotStore, key: str) -> str:
+    return os.path.join(store.root, "envelopes", key + ".snap")
+
+
+class TestRoundTrip:
+    def test_put_get_returns_identical_bytes(self, root) -> None:
+        store = SnapshotStore(root)
+        store.put("aa11", b"frozen world bytes")
+        assert store.get("aa11") == b"frozen world bytes"
+        assert store.stats()["hits"] == 1
+        assert store.stats()["writes"] == 1
+
+    def test_missing_key_is_a_miss(self, root) -> None:
+        store = SnapshotStore(root)
+        assert store.get("absent") is None
+        assert store.stats() == {
+            "entries": 0, "bytes": 0, "hits": 0, "misses": 1,
+            "writes": 0, "corruptions": 0, "evictions": 0,
+        }
+
+    def test_overwrite_replaces_payload(self, root) -> None:
+        store = SnapshotStore(root)
+        store.put("aa11", b"v1")
+        store.put("aa11", b"v2-longer")
+        assert store.get("aa11") == b"v2-longer"
+        assert store.stats()["entries"] == 1
+
+    def test_unsafe_keys_rejected(self, root) -> None:
+        store = SnapshotStore(root)
+        with pytest.raises(ValueError, match="filesystem-safe"):
+            store.put("../escape", b"x")
+        with pytest.raises(ValueError, match="filesystem-safe"):
+            store.get("")
+
+
+class TestIntegrity:
+    def test_truncated_envelope_degrades_to_miss_and_is_deleted(self, root) -> None:
+        store = SnapshotStore(root)
+        store.put("aa11", b"a perfectly good envelope")
+        path = _envelope_path(store, "aa11")
+        with open(path, "rb") as handle:
+            data = handle.read()
+        with open(path, "wb") as handle:
+            handle.write(data[: len(data) // 2])
+        assert store.get("aa11") is None
+        assert store.stats()["corruptions"] == 1
+        assert not os.path.exists(path)
+        # the entry is gone for good, not resurrected on the next read
+        assert store.get("aa11") is None
+        assert store.stats()["corruptions"] == 1
+
+    def test_flipped_payload_byte_fails_the_digest(self, root) -> None:
+        store = SnapshotStore(root)
+        store.put("aa11", b"bytes that must not rot")
+        path = _envelope_path(store, "aa11")
+        with open(path, "rb") as handle:
+            data = bytearray(handle.read())
+        data[-1] ^= 0xFF
+        with open(path, "wb") as handle:
+            handle.write(bytes(data))
+        assert store.get("aa11") is None
+        assert store.stats()["corruptions"] == 1
+
+    def test_wrong_key_in_header_rejected(self, root) -> None:
+        store = SnapshotStore(root)
+        store.put("aa11", b"payload")
+        os.rename(_envelope_path(store, "aa11"), _envelope_path(store, "bb22"))
+        fresh = SnapshotStore(root)  # adopts the renamed file...
+        assert fresh.get("bb22") is None  # ...but the header says aa11
+        assert fresh.stats()["corruptions"] == 1
+
+
+class TestEviction:
+    def test_lru_evicts_lowest_sequence_first(self, root) -> None:
+        # each envelope is payload + a ~100-byte header line; 400 bytes
+        # holds two envelopes but not three
+        store = SnapshotStore(root, max_bytes=400)
+        store.put("aa", b"a" * 60)
+        store.put("bb", b"b" * 60)
+        store.get("aa")  # bump aa's recency above bb's
+        store.put("cc", b"c" * 60)  # over budget: bb is now the LRU victim
+        assert store.get("bb") is None
+        assert store.get("aa") is not None
+        assert store.get("cc") is not None
+        assert store.stats()["evictions"] == 1
+        assert not os.path.exists(_envelope_path(store, "bb"))
+
+    def test_bounds_hold_across_many_inserts(self, root) -> None:
+        store = SnapshotStore(root, max_bytes=400)
+        for i in range(8):
+            store.put(f"k{i}", bytes([i]) * 80)
+        assert store.bytes_stored <= 400
+        assert store.stats()["entries"] < 8
+
+    def test_invalid_bound_rejected(self, root) -> None:
+        with pytest.raises(ValueError, match="max_bytes"):
+            SnapshotStore(root, max_bytes=0)
+
+
+class TestCrossInstance:
+    def test_second_instance_reads_first_instances_writes(self, root) -> None:
+        SnapshotStore(root).put("aa11", b"persisted")
+        warm = SnapshotStore(root)
+        assert warm.get("aa11") == b"persisted"
+        assert warm.stats()["hits"] == 1
+        assert warm.stats()["writes"] == 0
+
+    def test_lost_index_is_rebuilt_from_the_envelope_dir(self, root) -> None:
+        store = SnapshotStore(root)
+        store.put("aa", b"first")
+        store.put("bb", b"second")
+        os.remove(os.path.join(root, "index.json"))
+        rebuilt = SnapshotStore(root)
+        assert sorted(rebuilt.keys()) == ["aa", "bb"]
+        assert rebuilt.get("aa") == b"first"
+
+    def test_dangling_index_entries_are_dropped(self, root) -> None:
+        store = SnapshotStore(root)
+        store.put("aa", b"kept")
+        store.put("bb", b"doomed")
+        os.remove(_envelope_path(store, "bb"))
+        reconciled = SnapshotStore(root)
+        assert reconciled.keys() == ["aa"]
+
+    def test_garbage_index_is_ignored(self, root) -> None:
+        store = SnapshotStore(root)
+        store.put("aa", b"payload")
+        with open(os.path.join(root, "index.json"), "w", encoding="utf-8") as handle:
+            handle.write("not json {{{")
+        assert SnapshotStore(root).get("aa") == b"payload"
+
+
+class TestObservability:
+    def test_counters_and_bytes_gauge_published(self, root) -> None:
+        obs = Observability(enabled=True)
+        store = SnapshotStore(root, obs=obs)
+        store.put("aa", b"x" * 32)
+        store.get("aa")
+        store.get("zz")
+        entries = {
+            (entry["name"], entry["type"]): entry
+            for entry in obs.metrics.snapshot()["metrics"]
+        }
+        assert entries[("fleet.store.writes", "counter")]["value"] == 1
+        assert entries[("fleet.store.hits", "counter")]["value"] == 1
+        assert entries[("fleet.store.misses", "counter")]["value"] == 1
+        assert entries[("fleet.store.bytes", "gauge")]["value"] == store.bytes_stored
+
+
+class TestIndexFile:
+    def test_index_is_valid_sorted_json(self, root) -> None:
+        store = SnapshotStore(root)
+        store.put("aa", b"payload")
+        with open(os.path.join(root, "index.json"), "r", encoding="utf-8") as handle:
+            parsed = json.load(handle)
+        assert parsed["schema_version"] == 1
+        assert "aa" in parsed["entries"]
+        assert parsed["entries"]["aa"]["seq"] >= 1

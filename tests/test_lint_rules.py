@@ -221,9 +221,19 @@ class TestArchitectureRules:
         assert fired(snippet, path="src/repro/fleet/runner.py") == []
         assert fired(snippet, path="src/repro/fleet/sample.py") == []
 
+    def test_arch004_scratch_space_confined_to_fleet(self):
+        # tempfile/shutil joined the banned set with the disk snapshot
+        # store: scratch directories are fleet-owned filesystem state
+        assert "ARCH004" in fired("import tempfile\n", path="src/repro/bench/sample.py")
+        assert "ARCH004" in fired(
+            "from shutil import rmtree\n", path="src/repro/core/sample.py"
+        )
+        assert fired("import tempfile\nimport shutil\n", path="src/repro/fleet/store.py") == []
+
     def test_arch004_silent_on_lookalike_names_and_outside_the_package(self):
         assert "ARCH004" not in fired("import pickleball\n", path="src/repro/core/sample.py")
         assert "ARCH004" not in fired("import multiprocessing\n", path="tests/test_sample.py")
+        assert "ARCH004" not in fired("import shutilities\n", path="src/repro/core/sample.py")
 
     def test_arch004_suppressed(self):
         snippet = (

@@ -138,6 +138,73 @@ class TestMergedTraces:
         assert "20" in out
 
 
+class TestSweepView:
+    """``summarize --sweep``: the fleet roll-up + one row per replica."""
+
+    def _sweep_trace(self, tmp_path: Path) -> str:
+        fleet_obs = Observability(enabled=True)
+        fleet_obs.counter("fleet.replicas").inc(2)
+        fleet_obs.counter("fleet.phase.units").inc(6)
+        fleet_obs.counter("fleet.phase.builds").inc(3)
+        fleet_obs.gauge("fleet.store.bytes").set(1024)
+        roll_up = {
+            "strategy": "tree",
+            "replica_count": 2,
+            "prefix_groups": 1,
+            "phase_units": 6,
+            "phase_builds": 3,
+            "build_cost_avoided_frac": 0.5,
+        }
+        lines = label_replica(
+            canonical_lines(
+                fleet_obs.trace_lines(meta={"replica": "__fleet__", "fleet": roll_up})
+            ),
+            "__fleet__",
+        )
+        for name, reused in (("seed-7/standard", False), ("seed-8/standard", True)):
+            meta = {"replica": name, "arm": "standard", "prefix_reused": reused}
+            lines += label_replica(
+                canonical_lines(_sample_obs().trace_lines(meta=meta)), name
+            )
+        path = tmp_path / "sweep.jsonl"
+        path.write_text(
+            "\n".join(json.dumps(line) for line in lines) + "\n", encoding="utf-8"
+        )
+        return str(path)
+
+    def test_roll_up_counters_and_replica_rows(
+        self, tmp_path: Path, capsys: pytest.CaptureFixture
+    ) -> None:
+        assert main(["summarize", "--sweep", self._sweep_trace(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert (
+            "Sweep: 2 replicas  strategy=tree  groups=1  "
+            "phase builds 3/6  build cost avoided 50.0%" in out
+        )
+        assert "fleet.phase.units" in out
+        assert "fleet.store.bytes" in out
+        rows = [line for line in out.splitlines() if "seed-" in line]
+        assert len(rows) == 2
+        assert "no" in rows[0] and "yes" in rows[1]
+        # the fleet segment itself is not listed as a replica
+        assert "__fleet__" not in "\n".join(rows)
+
+    def test_plain_fleet_trace_still_gets_replica_table(
+        self, tmp_path: Path, capsys: pytest.CaptureFixture
+    ) -> None:
+        lines = label_replica(
+            _sample_obs().trace_lines(meta={"replica": "seed-7/a"}), "seed-7/a"
+        )
+        path = tmp_path / "plain.jsonl"
+        path.write_text(
+            "\n".join(json.dumps(line) for line in lines) + "\n", encoding="utf-8"
+        )
+        assert main(["summarize", "--sweep", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "no fleet roll-up segment" in out
+        assert "seed-7/a" in out
+
+
 class TestCli:
     @pytest.fixture()
     def trace_path(self, tmp_path: Path) -> str:
