@@ -14,6 +14,7 @@ from typing import Sequence
 from repro.bench.scenarios import SCENARIOS, bench_file_name
 from repro.bench.schema import validate_payload
 from repro.core.config import resolve_workers
+from repro.obs.history import HISTORY_FILE_NAME, append_history, history_record
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -50,6 +51,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "--out-dir",
         default=".",
         help="directory for BENCH_*.json files (default: current directory)",
+    )
+    parser.add_argument(
+        "--no-history",
+        action="store_true",
+        help=(
+            f"do not append this run to {HISTORY_FILE_NAME} in the output "
+            "directory (appending is the default so the perf trajectory "
+            "survives across PRs; `python -m repro.obs regress` consumes it)"
+        ),
     )
     parser.add_argument(
         "--validate",
@@ -125,6 +135,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         path = out_dir / bench_file_name(payload["benchmark"])
         path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
         print(f"wrote {path}")
+        if not args.no_history:
+            record = history_record(payload, source_dir=out_dir)
+            history_path = append_history(out_dir / HISTORY_FILE_NAME, record)
+            print(f"appended {history_path}")
     return 0
 
 

@@ -7,22 +7,25 @@ and cache state, then records ``repetitions`` wall-clock samples.
 
 from __future__ import annotations
 
-import resource
 import time
 from dataclasses import dataclass
 from typing import Callable
+
+from repro.obs.walltime import read_peak_rss_kb
 
 
 def peak_rss_kb() -> int:
     """Process-wide peak resident set size in KiB (``ru_maxrss``).
 
-    This is a high-water mark over the whole process lifetime: it never
-    decreases, so a reading taken after a case's runs subsumes every
-    earlier case's peak. Per-case readings in one bench process are an
-    upper bound, not an isolated measurement — cross-*process* readings
-    (separate bench invocations) are the comparable ones.
+    Delegates to :func:`repro.obs.walltime.read_peak_rss_kb` — the one
+    sanctioned host-probe module (OBS003). This is a high-water mark
+    over the whole process lifetime: it never decreases, so a reading
+    taken after a case's runs subsumes every earlier case's peak.
+    Per-case readings in one bench process are an upper bound, not an
+    isolated measurement — cross-*process* readings (separate bench
+    invocations) are the comparable ones.
     """
-    return int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    return read_peak_rss_kb()
 
 
 @dataclass(frozen=True)

@@ -32,6 +32,7 @@ dumps the full JSONL trace (spans + metrics snapshot) for
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from typing import Callable, TextIO
 
@@ -41,7 +42,7 @@ from repro.core import reporting as R
 from repro.core.study import INSTA_STAR
 from repro.interventions.experiment import BroadInterventionPlan, NarrowInterventionPlan
 from repro.obs import ConsoleReporter, Observability
-from repro.obs.walltime import read_wall_seconds
+from repro.obs.walltime import read_peak_rss_kb, read_wall_seconds
 
 PRESETS: dict[str, Callable[[int], StudyConfig]] = {
     "tiny": StudyConfig.tiny,
@@ -73,6 +74,14 @@ def build_parser() -> argparse.ArgumentParser:
             type=str,
             default="",
             help="write a repro.obs JSONL trace (spans + metrics) to this path",
+        )
+        sub.add_argument(
+            "--profile",
+            action="store_true",
+            help=(
+                "attach the deterministic cost-model profiler: spans in the "
+                "trace carry cost_total/cost_self attrs for repro.obs flame"
+            ),
         )
 
     run_study = subparsers.add_parser("run-study", help="measurement pipeline + business tables")
@@ -163,6 +172,14 @@ def build_parser() -> argparse.ArgumentParser:
             "segment per replica) to this path"
         ),
     )
+    sweep.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "profile every replica: spans carry cost attrs and the fleet "
+            "segment rolls self-costs up by tree depth"
+        ),
+    )
 
     subparsers.add_parser("list-presets", help="show available scale presets")
     return parser
@@ -173,13 +190,19 @@ def _make_study(config: StudyConfig, args) -> Study:
 
     ``--verbose`` and ``--trace`` force telemetry on (they are explicit
     requests for it); otherwise the config switch decides. Traces
-    written by the CLI carry wall-clock span durations — the waived,
-    non-canonical extra — since a human asked for them.
+    written by the CLI carry wall-clock span durations and peak-RSS
+    stamps — the waived, non-canonical extras — since a human asked for
+    them. ``--profile`` additionally attaches the deterministic cost
+    profiler (it implies telemetry: cost attrs ride on spans).
     """
+    profile = bool(getattr(args, "profile", False))
     wants_obs = bool(getattr(args, "verbose", False) or getattr(args, "trace", ""))
+    tracing = bool(getattr(args, "trace", ""))
     obs = Observability(
-        enabled=config.observability or wants_obs,
-        wall_source=read_wall_seconds if getattr(args, "trace", "") else None,
+        enabled=config.observability or wants_obs or profile,
+        wall_source=read_wall_seconds if tracing else None,
+        rss_source=read_peak_rss_kb if tracing else None,
+        profile=profile,
     )
     if getattr(args, "verbose", False):
         obs.add_listener(ConsoleReporter(sys.stderr))
@@ -227,6 +250,8 @@ def _run_study_fleet(args, out: TextIO) -> int:
 
     seeds = _parse_seeds(args.seeds)
     config = PRESETS[args.preset](seed=seeds[0])
+    if getattr(args, "profile", False):
+        config = dataclasses.replace(config, profile=True)
     arm_options: tuple[tuple[str, object], ...] = ()
     if getattr(args, "measurement_days", 0):
         arm_options = (("measurement_days", args.measurement_days),)
@@ -276,8 +301,6 @@ def cmd_run_interventions(args, out: TextIO) -> int:
 
 
 def cmd_run_epilogue(args, out: TextIO) -> int:
-    import dataclasses
-
     config = PRESETS[args.preset](seed=args.seed)
     config = dataclasses.replace(config, enable_migration=True)
     study = _make_study(config, args)
@@ -316,6 +339,13 @@ def cmd_sweep(args, out: TextIO) -> int:
     except ManifestError as exc:
         raise SystemExit(f"sweep: {exc}")
     specs = expand_manifest(manifest)
+    if getattr(args, "profile", False):
+        specs = [
+            dataclasses.replace(
+                spec, config=dataclasses.replace(spec.config, profile=True)
+            )
+            for spec in specs
+        ]
     store = (
         SnapshotStore(args.store, max_bytes=args.store_max_bytes) if args.store else None
     )

@@ -17,6 +17,11 @@ the naive loop produce bit-identical studies.
 
 Within a tick, due agents always run in registration order, which the
 study keeps identical to the naive loop's visit order.
+
+``core.scheduler.agent_runs`` — one increment per agent actually run —
+doubles as the scheduler's work unit for the cost profiler
+(:mod:`repro.obs.prof`): a phase span's ``sched`` cost is the number of
+agent-runs that happened inside it.
 """
 
 from __future__ import annotations

@@ -110,6 +110,9 @@ class AASClassifier:
         _obs.gauge("detection.classifier.signatures").set(len(self.signatures))
         self._obs_memo_hit = _obs.counter("detection.classifier.memo", result="hit")
         self._obs_memo_miss = _obs.counter("detection.classifier.memo", result="miss")
+        #: signature.matches() probes — the classifier's work unit for
+        #: the cost profiler; memo hits cost zero comparisons
+        self._obs_comparisons = _obs.counter("detection.classifier.comparisons")
         self._obs_sweep_tier = {
             tier: _obs.counter("detection.classifier.sweeps", tier=tier)
             for tier in ("streamed", "bucketed", "brute")
@@ -143,10 +146,13 @@ class AASClassifier:
             return service
         self._obs_memo_miss.inc()
         service = None
+        comparisons = 0
         for signature in self.signatures:
+            comparisons += 1
             if signature.matches(record):
                 service = signature.service
                 break
+        self._obs_comparisons.inc(comparisons)
         self._match_memo[key] = service
         return service
 

@@ -59,7 +59,55 @@ class DirectPrintRule(Rule):
                 )
 
 
-OBS_RULES: tuple[type[Rule], ...] = (DirectPrintRule,)
+#: host-probe modules whose readings vary run to run — wall clocks and
+#: process resource accounting — confined to the one waived obs module
+_HOST_PROBE_MODULES = ("time", "resource")
+
+
+class HostProbeConfinementRule(Rule):
+    """OBS003 — host probes (``time``/``resource``) live in one module.
+
+    Wall-clock and RSS readings are nondeterministic by nature; the
+    observability layer keeps them behind ``repro/obs/walltime.py`` (the
+    DET003-waived probe module) so every non-canonical trace field has a
+    single auditable source and ``canonical_lines()`` can strip them
+    all. Anything else importing ``time`` or ``resource`` either belongs
+    in that module or is smuggling host state into the simulation.
+    """
+
+    rule_id: ClassVar[str] = "OBS003"
+    summary: ClassVar[str] = (
+        "wall-clock/RSS host probes (import time/resource) are confined "
+        "to repro/obs/walltime.py so non-canonical trace fields have one "
+        "auditable source; call read_wall_seconds/read_peak_rss_kb instead"
+    )
+    exempt_suffixes: ClassVar[tuple[str, ...]] = ("repro/obs/walltime.py",)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.split(".")[0] in _HOST_PROBE_MODULES:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"`import {alias.name}` outside repro/obs/walltime.py; "
+                            "host probes (wall clock, RSS) are confined there — "
+                            "use read_wall_seconds()/read_peak_rss_kb()",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0 and node.module is not None:
+                    if node.module.split(".")[0] in _HOST_PROBE_MODULES:
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"`from {node.module} import ...` outside "
+                            "repro/obs/walltime.py; host probes are confined "
+                            "there — use read_wall_seconds()/read_peak_rss_kb()",
+                        )
+
+
+OBS_RULES: tuple[type[Rule], ...] = (DirectPrintRule, HostProbeConfinementRule)
 
 
 class ObsWriteOnlyRule(ProjectRule):

@@ -59,6 +59,15 @@ WAIVERS: tuple[Waiver, ...] = (
         ),
     ),
     Waiver(
+        rule="OBS003",
+        module_prefix="repro.bench",
+        reason=(
+            "the perf harness reads the monotonic clock on every "
+            "measurement by design (same grounds as its DET003 waiver); "
+            "RSS it takes through repro.obs.walltime like everyone else"
+        ),
+    ),
+    Waiver(
         rule="OBS002",
         module_prefix="repro.bench",
         reason=(

@@ -20,8 +20,17 @@ fixes this without perturbing determinism:
   instrumented hot paths cost one dead method call.
 * :mod:`repro.obs.trace` / :mod:`repro.obs.schema` — the JSONL trace
   sink and the pure-python validators CI runs over emitted traces.
+* :mod:`repro.obs.prof` — the deterministic cost-model profiler:
+  work-unit counters (RNG derivations, log appends, graph edge ops,
+  classifier comparisons, scheduler agent-runs) charged to the
+  enclosing span as ``cost_total``/``cost_self`` attrs.
+* :mod:`repro.obs.flame` — flamegraph rendering over the span cost
+  tree (text and JSON).
+* :mod:`repro.obs.history` — the append-only ``BENCH_HISTORY.jsonl``
+  store and noise-floor-aware regression verdicts.
 * ``python -m repro.obs`` (:mod:`repro.obs.cli`) — summarize a trace,
-  diff two traces for coverage regressions, validate schemas.
+  diff two traces for coverage regressions, validate schemas, render
+  flamegraphs, gate on bench-history regressions.
 
 Telemetry is strictly write-only from the simulation's perspective:
 nothing in this package is ever read back by simulation code, which is
@@ -32,6 +41,16 @@ fast-path equivalence suite).
 from __future__ import annotations
 
 from repro.obs.facade import NULL_OBS, Observability
+from repro.obs.flame import FLAME_SCHEMA_VERSION, FlameNode, build_forest, flame_payload
+from repro.obs.history import (
+    HISTORY_FILE_NAME,
+    HISTORY_SCHEMA_VERSION,
+    RegressVerdict,
+    append_history,
+    history_record,
+    read_history,
+    regress,
+)
 from repro.obs.metrics import (
     SNAPSHOT_SCHEMA_VERSION,
     Counter,
@@ -39,6 +58,7 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.prof import COST_SELF_ATTR, COST_TOTAL_ATTR, CostProfiler, strip_cost_attrs
 from repro.obs.report import ConsoleReporter
 from repro.obs.schema import TRACE_SCHEMA_VERSION, validate_snapshot, validate_trace
 from repro.obs.spans import Span, SpanListener, Tracer
@@ -52,22 +72,37 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "COST_SELF_ATTR",
+    "COST_TOTAL_ATTR",
+    "FLAME_SCHEMA_VERSION",
+    "HISTORY_FILE_NAME",
+    "HISTORY_SCHEMA_VERSION",
     "NULL_OBS",
     "SNAPSHOT_SCHEMA_VERSION",
     "TRACE_SCHEMA_VERSION",
     "ConsoleReporter",
+    "CostProfiler",
     "Counter",
+    "FlameNode",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "Observability",
+    "RegressVerdict",
     "Span",
     "SpanListener",
     "Tracer",
+    "append_history",
+    "build_forest",
     "canonical_lines",
+    "flame_payload",
+    "history_record",
     "label_replica",
+    "read_history",
     "read_trace_lines",
+    "regress",
     "split_segments",
+    "strip_cost_attrs",
     "trace_lines",
     "validate_snapshot",
     "validate_trace",

@@ -1,29 +1,41 @@
-"""``python -m repro.obs`` — summarize, diff, and validate JSONL traces.
+"""``python -m repro.obs`` — summarize, flame, regress, diff, validate.
 
 Subcommands:
 
-* ``summarize TRACE [TRACE ...]`` — top spans by total tick-span,
+* ``summarize TRACE [TRACE ...]`` — top spans by total tick-span (with
+  per-phase ``peak_rss_kb`` when the trace has RSS stamps),
   counter/gauge tables, histogram percentile rows. Several traces (or
   one fleet-merged multi-segment file) are merged: counters sum, gauges
   average, histograms combine count/min/max.
+* ``flame TRACE`` — render the span tree as a text (or ``--json``)
+  flamegraph with self/total cost columns and a ``--top N`` hot-path
+  ranking; uses the deterministic cost-model attrs when the trace was
+  recorded with ``--profile``, tick spans otherwise. (This replaced
+  the old ``summarize --hot-phases`` view.)
+* ``regress HISTORY`` — diff the newest ``BENCH_HISTORY.jsonl`` record
+  against its baseline with noise-floor-aware verdicts; exits 1 only
+  on off-noise-floor regressions.
 * ``diff OLD NEW`` — compare the instrument coverage and span names of
   two traces; exits 1 when NEW *lost* coverage (a span name or metric
   series present in OLD is gone), the regression CI should catch.
 * ``validate TRACE [TRACE ...]`` — schema-check traces; exits 1 on any
   failure.
 
-Exit codes: 0 success, 1 validation failure or coverage regression,
-2 usage error. Mirrors the ``repro.bench`` CLI conventions.
+Exit codes: 0 success, 1 validation failure / coverage or perf
+regression, 2 usage error. Mirrors the ``repro.bench`` CLI conventions.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from collections import defaultdict
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.obs.flame import FlameNode, build_forest, flame_payload, render_text
+from repro.obs.history import DEFAULT_MIN_NOISE, read_history, regress
 from repro.obs.metrics import format_metric
 from repro.obs.schema import validate_trace
 from repro.obs.trace import read_trace_lines, split_segments
@@ -129,37 +141,6 @@ def _fmt_number(value: object) -> str:
     if isinstance(value, float):
         return f"{value:.6g}"
     return str(value)
-
-
-def _hot_phases_section(
-    by_name: Dict[str, List[int]],
-    wall_by_name: Dict[str, float],
-    has_wall: bool,
-    top: int,
-) -> str:
-    """Rank phase spans by total tick-duration, with share-of-total and
-    per-span mean; a ``wall_s`` column appears only when the trace was
-    recorded with wall timing (it is opt-in and stripped from canonical
-    traces, so most traces do not have it)."""
-    total_ticks = sum(sum(tick_spans) for tick_spans in by_name.values())
-    ranked = sorted(
-        by_name.items(), key=lambda item: (-sum(item[1]), item[0])
-    )[:top]
-    if not ranked:
-        return "Hot phases: (no spans)"
-    rows = ["Hot phases (by total tick-duration):"]
-    width = max(len(name) for name, _ in ranked)
-    for name, tick_spans in ranked:
-        ticks = sum(tick_spans)
-        share = (100.0 * ticks / total_ticks) if total_ticks else 0.0
-        line = (
-            f"  {name:<{width}}  ticks={ticks}  share={share:5.1f}%"
-            f"  count={len(tick_spans)}  mean={ticks / len(tick_spans):.1f}"
-        )
-        if has_wall and name in wall_by_name:
-            line += f"  wall_s={wall_by_name[name]:.3f}"
-        rows.append(line)
-    return "\n".join(rows)
 
 
 def _sweep_view(paths: Sequence[str]) -> int:
@@ -274,31 +255,32 @@ def cmd_summarize(args: argparse.Namespace) -> int:
     sections: List[str] = [title]
 
     by_name: Dict[str, List[int]] = defaultdict(list)
-    wall_by_name: Dict[str, float] = defaultdict(float)
-    has_wall = False
+    rss_by_name: Dict[str, int] = {}
     for span in spans:
         start, end = span.get("start_tick"), span.get("end_tick")
         assert isinstance(start, int) and isinstance(end, int)
-        by_name[str(span.get("name"))].append(end - start)
-        wall = span.get("wall_s")
-        if isinstance(wall, (int, float)):
-            has_wall = True
-            wall_by_name[str(span.get("name"))] += float(wall)
-    ranked = sorted(
-        by_name.items(), key=lambda item: (-sum(item[1]), item[0])
-    )[: args.top]
-    if getattr(args, "hot_phases", False):
-        sections.append(
-            _hot_phases_section(by_name, wall_by_name, has_wall, args.top)
-        )
-    elif ranked:
+        name = str(span.get("name"))
+        by_name[name].append(end - start)
+        rss = span.get("peak_rss_kb")
+        if isinstance(rss, int) and not isinstance(rss, bool):
+            # ru_maxrss is a process high-water mark: the per-phase
+            # attribution is "the peak as of this phase's close", so the
+            # max across same-named spans is the honest roll-up
+            rss_by_name[name] = max(rss_by_name.get(name, 0), rss)
+    ranked = sorted(by_name.items(), key=lambda item: (-sum(item[1]), item[0]))
+    if args.top > 0:
+        ranked = ranked[: args.top]
+    if ranked:
         rows = ["Top spans by total tick-span:"]
         width = max(len(name) for name, _ in ranked)
         for name, tick_spans in ranked:
-            rows.append(
+            row = (
                 f"  {name:<{width}}  count={len(tick_spans)}"
                 f"  ticks={sum(tick_spans)}  max={max(tick_spans)}"
             )
+            if name in rss_by_name:
+                row += f"  peak_rss_kb={rss_by_name[name]}"
+            rows.append(row)
         sections.append("\n".join(rows))
 
     for kind, title in (("counter", "Counters:"), ("gauge", "Gauges:")):
@@ -337,6 +319,64 @@ def cmd_summarize(args: argparse.Namespace) -> int:
 
     print("\n\n".join(sections))
     return 0
+
+
+def cmd_flame(args: argparse.Namespace) -> int:
+    lines = _load(args.trace)
+    segments: List[Tuple[str, str, List[FlameNode]]] = []
+    for segment in split_segments(lines):
+        header = segment[0]
+        assert isinstance(header, dict)
+        meta = header.get("meta")
+        meta = meta if isinstance(meta, dict) else {}
+        replica = str(meta.get("replica") or header.get("replica") or "")
+        basis, roots = build_forest(_span_lines(segment))
+        segments.append((replica, basis, roots))
+    if args.json:
+        print(json.dumps(flame_payload(segments), indent=2, sort_keys=True))
+        return 0
+    blocks: List[str] = []
+    for replica, basis, roots in segments:
+        text = render_text(basis, roots, top=args.top)
+        if len(segments) > 1:
+            text = f"segment {replica or '?'}:\n{text}"
+        blocks.append(text)
+    print("\n".join(blocks), end="")
+    return 0
+
+
+def cmd_regress(args: argparse.Namespace) -> int:
+    records = read_history(args.history)
+    if not records:
+        print(f"{args.history}: no history records; nothing to compare")
+        return 0
+    verdicts, notes = regress(
+        records,
+        benchmark=args.benchmark,
+        baseline_offset=args.baseline,
+        min_noise=args.min_noise,
+    )
+    for note in notes:
+        print(f"note: {note}")
+    failed = 0
+    for verdict in verdicts:
+        if verdict.regressed:
+            failed += 1
+            flag = "REGRESSED"
+        elif verdict.status == "improved":
+            flag = "improved"
+        else:
+            flag = "ok"
+        print(
+            f"{verdict.benchmark}/{verdict.mode} {verdict.result}: "
+            f"best {verdict.baseline_best_s:.6g}s -> {verdict.current_best_s:.6g}s  "
+            f"ratio={verdict.ratio:.3f}  noise<={verdict.noise:.3f}  {flag}"
+        )
+    if not verdicts:
+        print("no comparable record pairs")
+    elif failed:
+        print(f"{failed} regression(s) beyond the noise floor")
+    return 1 if failed else 0
 
 
 def cmd_diff(args: argparse.Namespace) -> int:
@@ -419,7 +459,12 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="+",
         help="JSONL trace path(s); several (or a fleet-merged file) are merged",
     )
-    summarize.add_argument("--top", type=int, default=20, help="span rows to show (default 20)")
+    summarize.add_argument(
+        "--top",
+        type=int,
+        default=20,
+        help="span rows to show (default 20; 0 or less shows all)",
+    )
     summarize.add_argument(
         "--sweep",
         action="store_true",
@@ -428,13 +473,48 @@ def build_parser() -> argparse.ArgumentParser:
             "ledger, fleet.* counters) plus one row per replica segment"
         ),
     )
-    summarize.add_argument(
-        "--hot-phases",
+
+    flame = sub.add_parser(
+        "flame",
+        help="render the span tree as a flamegraph with self/total costs",
+    )
+    flame.add_argument("trace", help="JSONL trace path (single or fleet-merged)")
+    flame.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        help="hot spans to rank by self cost (default 10; 0 or less shows all)",
+    )
+    flame.add_argument(
+        "--json",
         action="store_true",
+        help="emit the flame tree as a JSON payload instead of text",
+    )
+
+    regress_cmd = sub.add_parser(
+        "regress",
+        help="diff the newest BENCH_HISTORY.jsonl record against a baseline",
+    )
+    regress_cmd.add_argument("history", help="path to BENCH_HISTORY.jsonl")
+    regress_cmd.add_argument(
+        "--benchmark", default=None, help="only check this scenario (default: all)"
+    )
+    regress_cmd.add_argument(
+        "--min-noise",
+        type=float,
+        default=DEFAULT_MIN_NOISE,
         help=(
-            "replace the span table with a hot-phase ranking: total "
-            "tick-duration, share of all span ticks, count, mean span "
-            "length, and wall_s totals when the trace has wall timing"
+            "smallest relative shift treated as signal (default "
+            f"{DEFAULT_MIN_NOISE}); measured cv/runner-up gaps widen the band"
+        ),
+    )
+    regress_cmd.add_argument(
+        "--baseline",
+        type=int,
+        default=None,
+        help=(
+            "compare against the record N places before the newest instead "
+            "of the latest same-config-digest record"
         ),
     )
 
@@ -450,7 +530,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    handlers = {"summarize": cmd_summarize, "diff": cmd_diff, "validate": cmd_validate}
+    handlers = {
+        "summarize": cmd_summarize,
+        "flame": cmd_flame,
+        "regress": cmd_regress,
+        "diff": cmd_diff,
+        "validate": cmd_validate,
+    }
     try:
         return handlers[args.command](args)
     except BrokenPipeError:

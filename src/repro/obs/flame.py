@@ -1,0 +1,220 @@
+"""Flamegraph views over the span cost tree.
+
+Turns a trace's span lines back into the phase tree and renders it as a
+text flamegraph (depth-indented, TOTAL/SELF columns) or a JSON payload.
+Costs come from the :mod:`repro.obs.prof` attrs when the trace was
+recorded with profiling on; otherwise the renderer falls back to tick
+spans, so ``repro.obs flame`` works on any trace, just with a coarser
+basis. Both bases are deterministic — the flamegraph of a seeded run
+is byte-identical across repeats.
+
+Reconstruction is necessarily two-pass: spans are serialized in
+*completion* order, so a child's line precedes its parent's. The
+builder indexes every span first, then links children to parents in
+span-id (open) order, which is exactly the order in which the phases
+started.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.obs.prof import COST_SELF_ATTR, COST_TOTAL_ATTR, KIND_NAMES
+
+#: bumped whenever the JSON flame payload shape changes incompatibly
+FLAME_SCHEMA_VERSION = 1
+
+#: cost basis: deterministic work units from the cost profiler
+BASIS_COST = "cost-units"
+#: fallback basis: simulation ticks spanned (profiler was off)
+BASIS_TICKS = "ticks"
+
+
+@dataclass
+class FlameNode:
+    """One span in the reconstructed phase tree, with per-kind costs."""
+
+    name: str
+    span_id: int
+    depth: int
+    total: Dict[str, int]
+    self_cost: Dict[str, int]
+    children: List["FlameNode"] = field(default_factory=list)
+
+    @property
+    def total_units(self) -> int:
+        return sum(self.total.values())
+
+    @property
+    def self_units(self) -> int:
+        return sum(self.self_cost.values())
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "depth": self.depth,
+            "total": dict(self.total),
+            "self": dict(self.self_cost),
+            "total_units": self.total_units,
+            "self_units": self.self_units,
+            "children": [child.to_dict() for child in self.children],
+        }
+
+
+def _cost_dict(value: object) -> Optional[Dict[str, int]]:
+    """A validated per-kind cost dict, or ``None`` if ``value`` isn't one."""
+    if not isinstance(value, dict):
+        return None
+    costs: Dict[str, int] = {}
+    for key, units in value.items():
+        if not isinstance(key, str) or not isinstance(units, int) or isinstance(units, bool):
+            return None
+        costs[key] = units
+    return costs
+
+
+def build_forest(span_lines: Sequence[Dict[str, object]]) -> Tuple[str, List[FlameNode]]:
+    """Reconstruct the phase tree from span lines; returns (basis, roots).
+
+    The cost basis is used only when *every* span carries valid
+    profiler attrs — a mixed trace (e.g. spans recorded before a
+    profiler attached) degrades wholesale to ticks rather than silently
+    mixing units.
+    """
+    parsed: List[Tuple[int, Optional[int], str, int, int, int, object, object]] = []
+    for line in span_lines:
+        span_id = line.get("id")
+        if not isinstance(span_id, int) or isinstance(span_id, bool):
+            continue
+        parent = line.get("parent")
+        parent_id = parent if isinstance(parent, int) and not isinstance(parent, bool) else None
+        name = str(line.get("name", ""))
+        depth = line.get("depth")
+        start = line.get("start_tick")
+        end = line.get("end_tick")
+        raw_attrs = line.get("attrs")
+        attrs: Dict[str, object] = raw_attrs if isinstance(raw_attrs, dict) else {}
+        parsed.append(
+            (
+                span_id,
+                parent_id,
+                name,
+                depth if isinstance(depth, int) else 0,
+                start if isinstance(start, int) else 0,
+                end if isinstance(end, int) else 0,
+                attrs.get(COST_TOTAL_ATTR),
+                attrs.get(COST_SELF_ATTR),
+            )
+        )
+
+    costed: Dict[int, Tuple[Dict[str, int], Dict[str, int]]] = {}
+    for span_id, _parent, _name, _depth, _start, _end, raw_total, raw_self in parsed:
+        total = _cost_dict(raw_total)
+        self_cost = _cost_dict(raw_self)
+        if total is None or self_cost is None:
+            break
+        costed[span_id] = (total, self_cost)
+    basis = BASIS_COST if parsed and len(costed) == len(parsed) else BASIS_TICKS
+
+    nodes: Dict[int, FlameNode] = {}
+    parents: Dict[int, Optional[int]] = {}
+    for span_id, parent_id, name, depth, start, end, _raw_total, _raw_self in parsed:
+        if basis == BASIS_COST:
+            total, self_cost = costed[span_id]
+        else:
+            total = {"ticks": max(end - start, 0)}
+            self_cost = dict(total)  # children subtracted below
+        nodes[span_id] = FlameNode(
+            name=name, span_id=span_id, depth=depth, total=total, self_cost=self_cost
+        )
+        parents[span_id] = parent_id
+
+    roots: List[FlameNode] = []
+    for span_id in sorted(nodes):  # span-id order == phase open order
+        parent_id = parents[span_id]
+        if parent_id is not None and parent_id in nodes:
+            nodes[parent_id].children.append(nodes[span_id])
+        else:
+            roots.append(nodes[span_id])
+
+    if basis == BASIS_TICKS:
+        for node in nodes.values():
+            child_ticks = sum(child.total.get("ticks", 0) for child in node.children)
+            node.self_cost = {"ticks": max(node.total.get("ticks", 0) - child_ticks, 0)}
+    return basis, roots
+
+
+def _walk(roots: Sequence[FlameNode]) -> List[FlameNode]:
+    ordered: List[FlameNode] = []
+    stack = list(reversed(list(roots)))
+    while stack:
+        node = stack.pop()
+        ordered.append(node)
+        stack.extend(reversed(node.children))
+    return ordered
+
+
+def _paths(roots: Sequence[FlameNode]) -> Dict[int, str]:
+    """span_id -> "root / ... / name" hot-path labels."""
+    labels: Dict[int, str] = {}
+
+    def visit(node: FlameNode, prefix: str) -> None:
+        path = f"{prefix} / {node.name}" if prefix else node.name
+        labels[node.span_id] = path
+        for child in node.children:
+            visit(child, path)
+
+    for root in roots:
+        visit(root, "")
+    return labels
+
+
+def _kind_suffix(costs: Dict[str, int]) -> str:
+    parts = [f"{kind}={costs[kind]}" for kind in KIND_NAMES if costs.get(kind)]
+    return f"  [{' '.join(parts)}]" if parts else ""
+
+
+def render_text(basis: str, roots: Sequence[FlameNode], top: int = 10) -> str:
+    """The text flamegraph: tree view + ranked hot-span list."""
+    ordered = _walk(roots)
+    out: List[str] = [f"Flame ({basis}):"]
+    if not ordered:
+        out.append("  (no spans)")
+        return "\n".join(out) + "\n"
+    width = max(len(str(node.total_units)) for node in ordered)
+    width = max(width, len("TOTAL"))
+    out.append(f"  {'TOTAL':>{width}}  {'SELF':>{width}}  SPAN")
+    for node in ordered:
+        indent = "  " * node.depth
+        suffix = _kind_suffix(node.self_cost) if basis == BASIS_COST else ""
+        out.append(
+            f"  {node.total_units:>{width}}  {node.self_units:>{width}}  "
+            f"{indent}{node.name}{suffix}"
+        )
+    labels = _paths(roots)
+    ranked = sorted(ordered, key=lambda n: (-n.self_units, labels[n.span_id], n.span_id))
+    if top > 0:
+        ranked = ranked[:top]
+    out.append("")
+    out.append(f"Hot spans by self {basis}:")
+    for rank, node in enumerate(ranked, start=1):
+        out.append(f"  {rank:>2}. {node.self_units:>{width}}  {labels[node.span_id]}")
+    return "\n".join(out) + "\n"
+
+
+def flame_payload(segments: Sequence[Tuple[str, str, Sequence[FlameNode]]]) -> Dict[str, object]:
+    """JSON payload for one or more (replica, basis, roots) segments."""
+    return {
+        "kind": "flame",
+        "schema_version": FLAME_SCHEMA_VERSION,
+        "segments": [
+            {
+                "replica": replica,
+                "basis": basis,
+                "roots": [root.to_dict() for root in roots],
+            }
+            for replica, basis, roots in segments
+        ],
+    }

@@ -157,6 +157,10 @@ def _validate_segment(lines: Sequence[object], label: str, errors: List[str]) ->
             _check(end_tick >= start_tick, f"{where}: end_tick must be >= start_tick", errors)
         if "wall_s" in line:
             _check(_is_number(line["wall_s"]), f"{where}: wall_s must be a number", errors)
+        if "peak_rss_kb" in line:
+            rss = line["peak_rss_kb"]
+            _check(isinstance(rss, int) and not isinstance(rss, bool) and rss >= 0,
+                   f"{where}: peak_rss_kb must be a non-negative int", errors)
 
 
 def _split_segments(lines: Sequence[object]) -> List[List[object]]:

@@ -17,10 +17,13 @@ Span identifiers are sequential integers in open order, and spans are
 recorded in *completion* order — both pure functions of control flow,
 so two runs of the same seeded config emit byte-identical span streams.
 
-Wall-clock durations are opt-in: a tracer built with a ``wall_source``
-(the CLI threads :func:`repro.obs.walltime.read_wall_seconds` through
-when asked) attaches a ``wall_s`` field to each span. That field is the
-*only* nondeterministic output and is stripped by
+Wall-clock durations and RSS high-water marks are opt-in: a tracer
+built with a ``wall_source`` (the CLI threads
+:func:`repro.obs.walltime.read_wall_seconds` through when asked)
+attaches a ``wall_s`` field to each span, and one built with an
+``rss_source`` (:func:`repro.obs.walltime.read_peak_rss_kb`) stamps
+``peak_rss_kb`` at span close. Those are the *only* nondeterministic
+outputs and both are stripped by
 :func:`repro.obs.trace.canonical_lines` before trace comparisons.
 
 Listeners observe span starts/ends live; the CLI's ``--verbose``
@@ -50,6 +53,7 @@ class Span:
     attrs: Dict[str, object] = field(default_factory=dict)
     end_tick: Optional[int] = None
     wall_s: Optional[float] = None
+    peak_rss_kb: Optional[int] = None
 
     @property
     def tick_span(self) -> int:
@@ -72,6 +76,8 @@ class Span:
         }
         if self.wall_s is not None:
             line["wall_s"] = self.wall_s
+        if self.peak_rss_kb is not None:
+            line["peak_rss_kb"] = self.peak_rss_kb
         return line
 
 
@@ -92,9 +98,11 @@ class Tracer:
         self,
         tick_source: Optional[Callable[[], int]] = None,
         wall_source: Optional[Callable[[], float]] = None,
+        rss_source: Optional[Callable[[], int]] = None,
     ) -> None:
         self._tick_source: Callable[[], int] = tick_source or _zero_tick
         self._wall_source = wall_source
+        self._rss_source = rss_source
         self._stack: List[Span] = []
         self._finished: List[Span] = []
         self._next_id = 0
@@ -118,11 +126,13 @@ class Tracer:
         state = dict(self.__dict__)
         state["_tick_source"] = None
         state["_wall_source"] = None
+        state["_rss_source"] = None
         state["_listeners"] = []
         return state
 
     def __setstate__(self, state: Dict[str, object]) -> None:
         self.__dict__.update(state)
+        self.__dict__.setdefault("_rss_source", None)
         if self._tick_source is None:  # type: ignore[redundant-expr]
             self._tick_source = _zero_tick
 
@@ -161,6 +171,8 @@ class Tracer:
             record.end_tick = self._tick_source()
             if wall_start is not None and self._wall_source is not None:
                 record.wall_s = self._wall_source() - wall_start
+            if self._rss_source is not None:
+                record.peak_rss_kb = self._rss_source()
             self._finished.append(record)
             for listener in self._listeners:
                 listener.span_ended(record)

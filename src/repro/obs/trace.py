@@ -107,17 +107,28 @@ def split_segments(lines: Sequence[object]) -> List[List[object]]:
     return segments
 
 
+#: span fields sourced from host probes (repro.obs.walltime) rather
+#: than simulation state; everything else in a trace is deterministic
+NONCANONICAL_SPAN_FIELDS = ("wall_s", "peak_rss_kb")
+
+
 def canonical_lines(lines: Sequence[object]) -> List[object]:
-    """Copy of ``lines`` with the waived wall-clock fields removed.
+    """Copy of ``lines`` with the waived host-probe fields removed.
 
     Canonical traces are what determinism comparisons operate on: two
     runs of the same seeded config must agree byte-for-byte once
-    ``wall_s`` is gone.
+    ``wall_s`` and ``peak_rss_kb`` are gone.
     """
     cleaned: List[object] = []
     for line in lines:
         if isinstance(line, dict) and line.get("kind") == "span":
-            cleaned.append({key: value for key, value in line.items() if key != "wall_s"})
+            cleaned.append(
+                {
+                    key: value
+                    for key, value in line.items()
+                    if key not in NONCANONICAL_SPAN_FIELDS
+                }
+            )
         else:
             cleaned.append(line)
     return cleaned

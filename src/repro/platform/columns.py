@@ -20,6 +20,11 @@ Enum codes use the enum's definition order, which is part of the
 platform API (reordering :class:`ActionType` would change serialized
 datasets anyway). ``None`` targets/removal ticks encode as -1; account,
 media, and tick values are all non-negative by construction.
+
+The ``platform.actionlog.*`` counters written here and by
+:mod:`repro.platform.actions` (appends, column appends, window queries
+by path) are the "log" work units the cost profiler
+(:mod:`repro.obs.prof`) charges to the enclosing phase span.
 """
 
 from __future__ import annotations

@@ -55,6 +55,7 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from repro.obs import NULL_OBS, Observability
 from repro.platform.errors import InvalidActionError
 from repro.platform.models import AccountId
 
@@ -65,9 +66,23 @@ _EMPTY_VIEW: Sequence[AccountId] = array(_ID_TYPECODE)
 
 
 class FollowerGraph:
-    """Directed follow edges on columnar, dense-indexed adjacency rows."""
+    """Directed follow edges on columnar, dense-indexed adjacency rows.
 
-    def __init__(self):
+    Edge mutations count into ``platform.graph.edge_ops{op=...}`` — the
+    "graph" work units the cost profiler (:mod:`repro.obs.prof`)
+    attributes to phase spans. CSR rebuilds are deliberately *not*
+    counted: the lazy index re-derives after every snapshot restore, so
+    its rebuild count depends on how many envelope boundaries a study
+    crossed (a scheduling artifact), which would break the
+    reuse-vs-rebuild trace equivalence. Write-only telemetry: obs-off
+    runs are bit-identical.
+    """
+
+    def __init__(self, obs: Observability | None = None):
+        _obs = obs if obs is not None else NULL_OBS
+        self._obs_follows = _obs.counter("platform.graph.edge_ops", op="follow")
+        self._obs_unfollows = _obs.counter("platform.graph.edge_ops", op="unfollow")
+        self._obs_bulk = _obs.counter("platform.graph.edge_ops", op="bulk")
         #: out-rows indexed directly by account id (dense: ids are
         #: counter-minted); each row is an insertion-ordered dict used as
         #: a set of followed accounts
@@ -178,6 +193,7 @@ class FollowerGraph:
         self._out_views.pop(src, None)
         self._in_views.pop(dst, None)
         self._edge_count += 1
+        self._obs_follows.inc()
 
     def unfollow(self, src: AccountId, dst: AccountId) -> None:
         """Remove edge src -> dst; removing a missing edge is invalid."""
@@ -194,6 +210,7 @@ class FollowerGraph:
         self._out_views.pop(src, None)
         self._in_views.pop(dst, None)
         self._edge_count -= 1
+        self._obs_unfollows.inc()
 
     def bulk_follow_new(
         self, src: AccountId, candidates: Iterable[AccountId], limit: int
@@ -251,6 +268,7 @@ class FollowerGraph:
         self._bulk_dst.extend(appended)
         self._bulk_src.extend([src] * len(appended))
         self._edge_count += len(new)
+        self._obs_bulk.inc(len(new))
         return len(new)
 
     # -- queries -------------------------------------------------------
@@ -347,14 +365,29 @@ class FollowerGraph:
 
     def __setstate__(self, state: dict) -> None:
         # the explicit twin of __getstate__ (SNAP003): restore the raw
-        # columns as-is; views and the CSR rebuild lazily on first read
+        # columns as-is; views and the CSR rebuild lazily on first read.
+        # Graphs pickled before the edge-op counters existed resurface
+        # un-instrumented rather than failing to unpickle.
         self.__dict__.update(state)
+        if "_obs_follows" not in state:
+            self._obs_follows = NULL_OBS.counter("platform.graph.edge_ops", op="follow")
+            self._obs_unfollows = NULL_OBS.counter("platform.graph.edge_ops", op="unfollow")
+            self._obs_bulk = NULL_OBS.counter("platform.graph.edge_ops", op="bulk")
 
 
 class SetFollowerGraph:
-    """The brute-force reference graph (the naive path's oracle)."""
+    """The brute-force reference graph (the naive path's oracle).
 
-    def __init__(self):
+    Counts the same ``platform.graph.edge_ops`` work units as the
+    columnar graph — its bulk wiring is literally ``follow`` per edge,
+    so its bulk op count lands under ``op=follow`` (honest per-edge
+    work), not ``op=bulk``.
+    """
+
+    def __init__(self, obs: Observability | None = None):
+        _obs = obs if obs is not None else NULL_OBS
+        self._obs_follows = _obs.counter("platform.graph.edge_ops", op="follow")
+        self._obs_unfollows = _obs.counter("platform.graph.edge_ops", op="unfollow")
         self._following: dict[AccountId, set[AccountId]] = defaultdict(set)
         self._followers: dict[AccountId, set[AccountId]] = defaultdict(set)
         self._edge_count = 0
@@ -368,6 +401,7 @@ class SetFollowerGraph:
         self._following[src].add(dst)
         self._followers[dst].add(src)
         self._edge_count += 1
+        self._obs_follows.inc()
 
     def unfollow(self, src: AccountId, dst: AccountId) -> None:
         """Remove edge src -> dst; removing a missing edge is invalid."""
@@ -376,6 +410,7 @@ class SetFollowerGraph:
         self._following[src].remove(dst)
         self._followers[dst].remove(src)
         self._edge_count -= 1
+        self._obs_unfollows.inc()
 
     def bulk_follow_new(
         self, src: AccountId, candidates: Iterable[AccountId], limit: int

@@ -64,7 +64,9 @@ class InstagramPlatform:
         #: ``Study`` forwards its ``StudyConfig.fast_path`` switch here.
         self.fast_path = fast_path
         self.auth = AuthService()
-        self.graph = FollowerGraph() if fast_path else SetFollowerGraph()
+        self.graph = (
+            FollowerGraph(obs=self.obs) if fast_path else SetFollowerGraph(obs=self.obs)
+        )
         self.media = MediaStore(cache_owner_views=fast_path)
         self.log = ActionLog(obs=self.obs, columnar=fast_path)
         self.notifications = NotificationCenter()

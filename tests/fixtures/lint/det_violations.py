@@ -9,6 +9,7 @@ have a known-dirty target.
 
 import os
 import random
+import resource
 import time
 import uuid
 
@@ -18,6 +19,10 @@ import numpy as np
 def ambient_jitter() -> float:
     np.random.seed(1234)
     return random.random() + time.time()
+
+
+def rss_probe() -> int:
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
 
 
 def fresh_token() -> str:

@@ -5,7 +5,7 @@ this file contributes zero findings even when the fixtures directory is
 linted explicitly.
 """
 
-import time
+import time  # repro-lint: ignore[OBS003] -- fixture: host probe confined elsewhere on purpose
 import uuid
 
 

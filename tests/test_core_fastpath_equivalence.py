@@ -195,3 +195,72 @@ def test_span_streams_identical_across_modes(pair) -> None:
     studies, _ = pair
     assert _span_rows(studies[True]) == _span_rows(studies[False])
     assert _span_rows(studies[True])  # and they are not trivially empty
+
+
+# ----------------------------------------------------------------------
+# The cost profiler must be write-only too: profiler-on runs produce
+# bit-identical payloads, and the only trace delta is the cost attrs.
+# ----------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def profiled(pair):
+    """The fast pipeline rerun with the cost profiler attached."""
+    study = Study(replace(_config(fast=True), profile=True))
+    study.run_honeypot_phase()
+    study.learn_signatures()
+    study.verify_signal_stability(probe_days=1)
+    study.run_measurement()
+    broad = study.run_broad_intervention(
+        BroadInterventionPlan(delay_days=1, block_days=1), calibration_days=2
+    )
+    return study, broad
+
+
+def test_profiler_on_action_log_identical(pair, profiled) -> None:
+    studies, _ = pair
+    profiled_study, _ = profiled
+    assert profiled_study.obs.profiler is not None
+    assert _log_rows(profiled_study) == _log_rows(studies[True])
+
+
+def test_profiler_on_intervention_identical(pair, profiled) -> None:
+    _, outcomes = pair
+    _, prof_broad = profiled
+    fast_broad = outcomes[True][3]
+    prof_ids = {k: [r.action_id for r in v.records] for k, v in prof_broad.attributed.items()}
+    fast_ids = {k: [r.action_id for r in v.records] for k, v in fast_broad.attributed.items()}
+    assert prof_ids == fast_ids
+
+
+def test_profiled_trace_is_plain_trace_plus_cost_attrs(pair, profiled) -> None:
+    from repro.obs import canonical_lines, strip_cost_attrs
+
+    studies, _ = pair
+    profiled_study, _ = profiled
+    plain = canonical_lines(studies[True].obs.trace_lines())
+    prof = canonical_lines(profiled_study.obs.trace_lines())
+    prof_spans = [line for line in prof if line.get("kind") == "span"]
+    assert prof_spans and all(
+        "cost_total" in line["attrs"] and "cost_self" in line["attrs"]
+        for line in prof_spans
+    )
+    assert strip_cost_attrs(prof) == plain
+
+
+def test_profiled_cost_tree_is_seed_deterministic(profiled) -> None:
+    """Same seed, independent run -> byte-identical cost attrs."""
+    from repro.obs import canonical_lines
+
+    profiled_study, _ = profiled
+    rerun = Study(replace(_config(fast=True), profile=True))
+    rerun.run_honeypot_phase()
+    rerun.learn_signatures()
+    rerun.verify_signal_stability(probe_days=1)
+    rerun.run_measurement()
+    rerun.run_broad_intervention(
+        BroadInterventionPlan(delay_days=1, block_days=1), calibration_days=2
+    )
+    assert canonical_lines(rerun.obs.trace_lines()) == canonical_lines(
+        profiled_study.obs.trace_lines()
+    )

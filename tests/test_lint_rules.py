@@ -111,8 +111,10 @@ class TestDeterminismRules:
         assert fired(snippet) == []
 
     def test_det003_exempt_in_clock_shim(self):
+        # OBS003 (probe-import confinement) still applies to the shim —
+        # only the wall-clock *read* rule grants it an exemption
         snippet = "import time\nt = time.time()\n"
-        assert fired(snippet, path="src/repro/platform/clock.py") == []
+        assert "DET003" not in fired(snippet, path="src/repro/platform/clock.py")
 
     def test_det004_flags_entropy_uuids(self):
         assert "DET004" in fired("import uuid\nu = uuid.uuid4()\n")
@@ -332,6 +334,30 @@ class TestObservabilityRules:
         snippet = 'print("x")  # repro-lint: ignore[OBS001] -- test waiver\n'
         assert fired(snippet) == []
 
+    def test_obs003_flags_host_probe_imports(self):
+        assert "OBS003" in fired("import time\n")
+        assert "OBS003" in fired("import resource\n")
+        assert "OBS003" in fired("import time as t\n")
+        assert "OBS003" in fired("from time import monotonic\n")
+        assert "OBS003" in fired("from resource import getrusage\n")
+
+    def test_obs003_fires_even_outside_the_package(self):
+        # unlike OBS001, probe confinement covers fixtures and scripts too
+        assert "OBS003" in fired("import time\n", path="scripts/loose_script.py")
+
+    def test_obs003_silent_in_walltime_module(self):
+        snippet = "import resource\nimport time\n"
+        assert fired(snippet, path="src/repro/obs/walltime.py") == []
+
+    def test_obs003_silent_on_lookalike_modules(self):
+        assert "OBS003" not in fired("import timeit_helpers\n")
+        assert "OBS003" not in fired("from mypkg.time import shim\n")
+        assert "OBS003" not in fired("from . import time\n", path="src/repro/aas/sample.py")
+
+    def test_obs003_suppressed(self):
+        snippet = "import time  # repro-lint: ignore[OBS003] -- test waiver\n"
+        assert fired(snippet) == []
+
 
 class TestEngine:
     def test_unparseable_file_is_a_parse_finding(self):
@@ -348,7 +374,9 @@ class TestEngine:
             "import time\nimport uuid\n"
             "x = (time.time(), uuid.uuid4())  # repro-lint: ignore[DET003] -- test waiver\n"
         )
-        assert fired(snippet) == ["DET004"]
+        # line 1's probe import fires OBS003; line 3's targeted waiver
+        # silences DET003 there but leaves DET004 live
+        assert fired(snippet) == ["OBS003", "DET004"]
 
     def test_suppression_inside_string_literal_is_inert(self):
         snippet = 'doc = "# repro-lint: ignore[DET001]"\nimport random\n'

@@ -1,0 +1,151 @@
+"""Tests for flamegraph reconstruction and rendering (`repro.obs flame`)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs import FLAME_SCHEMA_VERSION, Observability, build_forest, flame_payload
+from repro.obs.cli import main
+from repro.obs.flame import BASIS_COST, BASIS_TICKS, render_text
+
+
+def _span_lines(obs: Observability) -> list:
+    return [line for line in obs.trace_lines() if line.get("kind") == "span"]
+
+
+def _sample(profile: bool) -> Observability:
+    obs = Observability(enabled=True, profile=profile)
+    clock = {"now": 0}
+    obs.bind_tick_source(lambda: clock["now"])
+    with obs.span("build-world"):
+        obs.counter("platform.graph.edge_ops", op="bulk").inc(100)
+        clock["now"] = 24
+    with obs.span("measurement-window"):
+        obs.counter("platform.actionlog.appends").inc(30)
+        with obs.span("sweep"):
+            obs.counter("detection.classifier.comparisons").inc(12)
+        clock["now"] = 96
+    return obs
+
+
+class TestBuildForest:
+    def test_cost_basis_with_linked_children(self) -> None:
+        basis, roots = build_forest(_span_lines(_sample(profile=True)))
+        assert basis == BASIS_COST
+        assert [root.name for root in roots] == ["build-world", "measurement-window"]
+        window = roots[1]
+        assert [child.name for child in window.children] == ["sweep"]
+        assert window.children[0].depth == 1
+
+    def test_total_equals_self_plus_children_totals(self) -> None:
+        _, roots = build_forest(_span_lines(_sample(profile=True)))
+
+        def check(node) -> None:
+            child_total = sum(child.total_units for child in node.children)
+            assert node.total_units == node.self_units + child_total
+            for child in node.children:
+                check(child)
+
+        for root in roots:
+            check(root)
+
+    def test_flamegraph_grand_total_equals_sum_of_self_costs(self) -> None:
+        _, roots = build_forest(_span_lines(_sample(profile=True)))
+        stack = list(roots)
+        self_sum = 0
+        while stack:
+            node = stack.pop()
+            self_sum += node.self_units
+            stack.extend(node.children)
+        assert self_sum == sum(root.total_units for root in roots)
+        assert self_sum == 100 + 30 + 12
+
+    def test_unprofiled_trace_falls_back_to_ticks(self) -> None:
+        basis, roots = build_forest(_span_lines(_sample(profile=False)))
+        assert basis == BASIS_TICKS
+        by_name = {root.name: root for root in roots}
+        assert by_name["build-world"].total == {"ticks": 24}
+        window = by_name["measurement-window"]
+        # the sweep child spans 0 ticks, so the window keeps all 72 as self
+        assert window.total == {"ticks": 72}
+        assert window.self_units == 72
+
+    def test_mixed_trace_degrades_wholesale_to_ticks(self) -> None:
+        lines = _span_lines(_sample(profile=True))
+        lines[0] = {**lines[0], "attrs": {}}  # one span lost its costs
+        basis, _roots = build_forest(lines)
+        assert basis == BASIS_TICKS
+
+    def test_empty_input_is_a_tick_basis_empty_forest(self) -> None:
+        basis, roots = build_forest([])
+        assert (basis, roots) == (BASIS_TICKS, [])
+
+
+class TestRenderText:
+    def test_render_is_deterministic(self) -> None:
+        one = build_forest(_span_lines(_sample(profile=True)))
+        two = build_forest(_span_lines(_sample(profile=True)))
+        assert render_text(*one) == render_text(*two)
+
+    def test_columns_and_hot_list(self) -> None:
+        basis, roots = build_forest(_span_lines(_sample(profile=True)))
+        text = render_text(basis, roots)
+        assert text.startswith("Flame (cost-units):")
+        assert "TOTAL" in text and "SELF" in text
+        assert "graph=100" in text  # per-kind suffix on self costs
+        assert "Hot spans by self cost-units:" in text
+        # hottest self-cost first, path-labeled
+        hot = text.split("Hot spans", 1)[1]
+        assert hot.index("build-world") < hot.index("measurement-window / sweep")
+
+    def test_top_limits_only_the_hot_list(self) -> None:
+        basis, roots = build_forest(_span_lines(_sample(profile=True)))
+        text = render_text(basis, roots, top=1)
+        assert text.count("\n  ") >= 4  # tree rows all present
+        hot = text.split("Hot spans", 1)[1]
+        assert " 1. " in hot and " 2. " not in hot
+
+    def test_nonpositive_top_shows_every_span(self) -> None:
+        basis, roots = build_forest(_span_lines(_sample(profile=True)))
+        hot = render_text(basis, roots, top=0).split("Hot spans", 1)[1]
+        assert " 3. " in hot
+
+
+class TestFlameCli:
+    @pytest.fixture()
+    def trace_path(self, tmp_path: Path) -> str:
+        path = tmp_path / "trace.jsonl"
+        _sample(profile=True).dump_trace(path, meta={"seed": 7})
+        return str(path)
+
+    def test_text_output(self, trace_path: str, capsys: pytest.CaptureFixture) -> None:
+        assert main(["flame", trace_path]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("Flame (cost-units):")
+        assert "sweep" in out
+
+    def test_json_output(self, trace_path: str, capsys: pytest.CaptureFixture) -> None:
+        assert main(["flame", trace_path, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "flame"
+        assert payload["schema_version"] == FLAME_SCHEMA_VERSION
+        (segment,) = payload["segments"]
+        assert segment["basis"] == BASIS_COST
+        roots = segment["roots"]
+        assert [root["name"] for root in roots] == ["build-world", "measurement-window"]
+        assert roots[1]["children"][0]["name"] == "sweep"
+        assert roots[1]["total_units"] == roots[1]["self_units"] + sum(
+            child["total_units"] for child in roots[1]["children"]
+        )
+
+    def test_missing_file_is_an_error(self, capsys: pytest.CaptureFixture) -> None:
+        assert main(["flame", "/nonexistent/trace.jsonl"]) == 1
+        assert "error:" in capsys.readouterr().out
+
+    def test_payload_helper_shapes_segments(self) -> None:
+        basis, roots = build_forest(_span_lines(_sample(profile=True)))
+        payload = flame_payload([("seed-7", basis, roots)])
+        assert payload["segments"][0]["replica"] == "seed-7"

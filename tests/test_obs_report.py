@@ -1,0 +1,91 @@
+"""Tests for the console span reporter and the RSS span stamps."""
+
+from __future__ import annotations
+
+import io
+
+from repro.obs import ConsoleReporter, Observability, canonical_lines, validate_trace
+from repro.obs.trace import NONCANONICAL_SPAN_FIELDS
+
+
+def _run(obs: Observability) -> None:
+    clock = {"now": 0}
+    obs.bind_tick_source(lambda: clock["now"])
+    with obs.span("honeypot-phase", days=3):
+        clock["now"] = 24
+        with obs.span("register-honeypots"):
+            clock["now"] = 48
+        clock["now"] = 72
+
+
+class TestConsoleReporter:
+    def test_start_lines_are_indented_and_tick_stamped(self) -> None:
+        stream = io.StringIO()
+        obs = Observability(enabled=True)
+        obs.add_listener(ConsoleReporter(stream))
+        _run(obs)
+        lines = stream.getvalue().splitlines()
+        assert lines[0] == "[tick      0] honeypot-phase  [days=3]"
+        assert lines[1] == "[tick     24]   register-honeypots"
+
+    def test_only_top_level_spans_report_done(self) -> None:
+        stream = io.StringIO()
+        obs = Observability(enabled=True)
+        obs.add_listener(ConsoleReporter(stream))
+        _run(obs)
+        done = [line for line in stream.getvalue().splitlines() if "done" in line]
+        assert done == ["[tick     72] honeypot-phase done (+72 ticks)"]
+
+    def test_disabled_handle_reports_nothing(self) -> None:
+        stream = io.StringIO()
+        obs = Observability(enabled=False)
+        obs.add_listener(ConsoleReporter(stream))
+        _run(obs)
+        assert stream.getvalue() == ""
+
+
+class TestRssStamps:
+    def _rss_obs(self) -> Observability:
+        readings = iter((1000, 2000, 3000, 4000))
+        return Observability(enabled=True, rss_source=lambda: next(readings))
+
+    def test_spans_carry_peak_rss_when_source_bound(self) -> None:
+        obs = self._rss_obs()
+        _run(obs)
+        lines = obs.trace_lines()
+        spans = [line for line in lines if line.get("kind") == "span"]
+        assert [span["peak_rss_kb"] for span in spans] == [1000, 2000]
+        assert validate_trace(lines) == []
+
+    def test_rss_is_noncanonical_and_stripped(self) -> None:
+        stamped = self._rss_obs()
+        plain = Observability(enabled=True)
+        _run(stamped)
+        _run(plain)
+        assert "peak_rss_kb" in NONCANONICAL_SPAN_FIELDS
+        assert "wall_s" in NONCANONICAL_SPAN_FIELDS
+        assert canonical_lines(stamped.trace_lines()) == plain.trace_lines()
+
+    def test_schema_rejects_bad_rss_values(self) -> None:
+        obs = self._rss_obs()
+        _run(obs)
+        lines = obs.trace_lines()
+        span_index = next(
+            i for i, line in enumerate(lines) if line.get("kind") == "span"
+        )
+        bad = [dict(line) for line in lines]
+        bad[span_index]["peak_rss_kb"] = -5
+        assert any("peak_rss_kb" in error for error in validate_trace(bad))
+        bad[span_index]["peak_rss_kb"] = True
+        assert any("peak_rss_kb" in error for error in validate_trace(bad))
+
+    def test_default_cli_style_handle_reads_real_rss(self) -> None:
+        from repro.obs.walltime import read_peak_rss_kb
+
+        obs = Observability(enabled=True, rss_source=read_peak_rss_kb)
+        _run(obs)
+        spans = [line for line in obs.trace_lines() if line.get("kind") == "span"]
+        assert all(
+            isinstance(span["peak_rss_kb"], int) and span["peak_rss_kb"] > 0
+            for span in spans
+        )
