@@ -298,6 +298,21 @@ class CollusionNetworkService(AccountAutomationService):
                 if record.account_id not in self.no_outbound and record.service_active(now)
             ]
             self._pool_cache_tick = now
+            if self.platform.fast_path:
+                self._pool_index = {
+                    record.account_id: i for i, record in enumerate(self._pool_cache)
+                }
+        if self.platform.fast_path:
+            # Same list the filter below builds, assembled by slicing
+            # around the (at most one) excluded element instead of
+            # re-testing every record per order. Callers only read and
+            # index the pool, so returning the cache itself when the
+            # excluded account is not in it is safe.
+            cache = self._pool_cache
+            i = self._pool_index.get(exclude)
+            if i is None:
+                return cache
+            return cache[:i] + cache[i + 1:]
         return [record for record in self._pool_cache if record.account_id != exclude]
 
     def _next_source(self, pool: list[CustomerRecord]) -> CustomerRecord:
@@ -381,11 +396,28 @@ class CollusionNetworkService(AccountAutomationService):
             return
         budget = max(1, order.per_hour)
         budget = min(budget, order.quantity - order.delivered)
-        deliver = {
-            ActionType.LIKE: self._deliver_like,
-            ActionType.FOLLOW: self._deliver_follow,
-            ActionType.COMMENT: self._deliver_comment,
-        }[order.action_type]
+        action_type = order.action_type
+        if self.platform.fast_path:
+            # In a saturated network nearly every attempt is an RNG-free,
+            # effect-free rejection — a source that already follows (or
+            # already likes) the recipient, classified by a single probe.
+            # The fast loops inline the cursor math and that probe so the
+            # dominant (rejected) attempts cost a couple of dict/set
+            # lookups; the generic loop below stays the oracle. Free like
+            # orders stay generic: their media pick draws RNG *before*
+            # the has-liked rejection, so the probe cannot be hoisted.
+            if action_type is ActionType.FOLLOW:
+                self._fulfil_follow_fast(order, pool, budget)
+                return
+            if action_type is ActionType.LIKE and order.single_media is not None:
+                self._fulfil_like_single_fast(order, pool, budget)
+                return
+        if action_type is ActionType.LIKE:
+            deliver = self._deliver_like
+        elif action_type is ActionType.FOLLOW:
+            deliver = self._deliver_follow
+        else:
+            deliver = self._deliver_comment
         attempts = 0
         max_attempts = budget * 4
         while budget > 0 and attempts < max_attempts:
@@ -399,6 +431,106 @@ class CollusionNetworkService(AccountAutomationService):
                 # the request was spent even though the platform refused
                 # it — no instant retry storm against a blocking defender
                 budget -= 1
+
+    def _fulfil_follow_fast(self, order: Order, pool: list[CustomerRecord], budget: int) -> None:
+        """Fast-path FOLLOW fulfilment: same attempts, sources, outcomes,
+        and cursor positions as the generic loop over
+        :meth:`_deliver_follow`, with the already-following rejection
+        inlined (it draws no RNG and mutates nothing)."""
+        # raw out-edge rows: `customer in row` is is_following() without
+        # the method call (the scan probes once per attempt); the list is
+        # live storage, so re-check its length each probe — deliveries
+        # inside the loop can extend it
+        out_rows = self.platform.graph.out_rows()
+        customer = order.customer
+        cursor = self._source_cursor
+        size = len(pool)
+        attempts = 0
+        max_attempts = budget * 4
+        observe = self.detector.observe
+        while budget > 0 and attempts < max_attempts:
+            attempts += 1
+            cursor += 1
+            if cursor >= size:
+                # the saved cursor can exceed this order's (smaller) pool
+                # by more than one, so wrap by modulo, not by reset
+                cursor %= size
+            source = pool[cursor]
+            source_id = source.account_id
+            row = out_rows[source_id] if source_id < len(out_rows) else None
+            if row is not None and customer in row:
+                continue  # IssueOutcome.INVALID: spends only the attempt
+            self._source_cursor = cursor  # keep shared state exact before issuing
+            outcome = self._issue(
+                source,
+                lambda session, endpoint: self.platform.follow(
+                    session, customer, endpoint, ApiSurface.PRIVATE_MOBILE
+                ),
+            )
+            observe(
+                ActionType.FOLLOW,
+                outcome is IssueOutcome.BLOCKED,
+                self.platform.clock.now,
+            )
+            if outcome is IssueOutcome.DELIVERED:
+                order.delivered += 1
+                budget -= 1
+            elif outcome is IssueOutcome.BLOCKED:
+                budget -= 1
+        self._source_cursor = cursor
+
+    def _fulfil_like_single_fast(
+        self, order: Order, pool: list[CustomerRecord], budget: int
+    ) -> None:
+        """Fast-path fulfilment of single-media like orders: same
+        attempts, sources, outcomes, attempt tallies, and cursor
+        positions as the generic loop over :meth:`_deliver_like`, with
+        the recipient-cap and already-liked rejections inlined (both are
+        RNG-free; only the cap check mutates nothing)."""
+        media_id = order.single_media
+        customer = order.customer
+        has_liked = self.platform.media.has_liked
+        caps_get = self._recipient_caps.get
+        attempts_map = self._recipient_attempts
+        day_key = (customer, self.platform.clock.day)
+        cursor = self._source_cursor
+        size = len(pool)
+        attempts = 0
+        max_attempts = budget * 4
+        # loop-invariant between issues: the cap only moves inside
+        # _note_like_outcome (re-read after each issue below) and the
+        # day's attempt tally only moves in this loop
+        cap = caps_get(customer)
+        count = attempts_map.get(day_key, 0)
+        while budget > 0 and attempts < max_attempts:
+            attempts += 1
+            cursor += 1
+            if cursor >= size:
+                # the saved cursor can exceed this order's (smaller) pool
+                # by more than one, so wrap by modulo, not by reset
+                cursor %= size
+            source = pool[cursor]
+            if cap is not None and count >= cap:
+                continue  # IssueOutcome.FAILED: cap reached, attempt spent
+            if has_liked(media_id, source.account_id):
+                continue  # IssueOutcome.INVALID: attempt spent, no effects
+            count += 1
+            attempts_map[day_key] = count
+            self._source_cursor = cursor  # keep shared state exact before issuing
+            outcome = self._issue(
+                source,
+                lambda session, endpoint: self.platform.like(
+                    session, media_id, endpoint, ApiSurface.PRIVATE_MOBILE
+                ),
+            )
+            self._note_like_outcome(customer, outcome)
+            cap = caps_get(customer)  # _note_like_outcome may have tightened it
+            if outcome is IssueOutcome.DELIVERED:
+                order.delivered += 1
+                budget -= 1
+            elif outcome is IssueOutcome.BLOCKED:
+                budget -= 1
+        self._source_cursor = cursor
 
     def _apply_monthly_plans(self) -> None:
         now = self.platform.clock.now

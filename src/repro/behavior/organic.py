@@ -28,7 +28,11 @@ from repro.behavior.population import OrganicPopulation
 from repro.behavior.profiles import OrganicProfile, account_attractiveness
 from repro.behavior.reciprocity import ReciprocityModel
 from repro.platform.auth import Session
-from repro.platform.errors import PlatformError
+from repro.platform.errors import (
+    ActionBlockedError,
+    InvalidActionError,
+    PlatformError,
+)
 from repro.platform.instagram import InstagramPlatform
 from repro.platform.models import AccountId, ActionType, ApiSurface
 from repro.util.timeutils import HOURS_PER_DAY
@@ -64,8 +68,40 @@ class OrganicActivityDriver:
         self.model = model
         self.params = params if params is not None else OrganicActivityParams()
         self._rng = rng
-        self._sessions: dict[AccountId, Session] = {}
-        self._last_login_day: dict[AccountId, int] = {}
+        #: fast-path switch for the fused unliked-media pick
+        #: (:meth:`~repro.platform.mediastore.MediaStore.unliked_of`); the
+        #: naive branch keeps the per-media has_liked listcomp as the
+        #: oracle. Neither branch draws RNG, so the pick draw that follows
+        #: is identical either way.
+        self._fast = platform.fast_path
+        #: fast-path memo of the profile-filtered following list, keyed by
+        #: actor and validated by *identity* of the graph's following_view
+        #: array: the columnar graph drops the cached view object on any
+        #: mutation of that actor's out-row and builds a fresh one, so
+        #: ``entry_view is view`` proves the filtered list is current (the
+        #: memo holds a reference to the old view, so its id cannot be
+        #: recycled). The reference graph returns a fresh tuple per call,
+        #: which would never match — the memo is fast-path only.
+        self._following_memo: dict[AccountId, tuple[object, list[AccountId]]] = {}
+        #: fast-path memo of ``account_attractiveness``, validated by
+        #: identity of the media store's cached ``media_of`` list (the
+        #: fast store returns the same object until the owner's media
+        #: change) plus the following count. The third input, profile
+        #: completeness, is set once at account creation and never
+        #: mutated afterwards, so those two cover every way the score can
+        #: move.
+        self._attr_memo: dict[AccountId, tuple[object, int, float]] = {}
+        #: per-account (session, last-login-day) — one dict probe on the
+        #: per-action hot path instead of two parallel dicts
+        self._sessions: dict[AccountId, tuple[Session, int]] = {}
+        #: flat ``account -> check_rate`` probe for the reciprocity scan:
+        #: one dict get answers both "is this an organic account" and
+        #: "at what rate" (profiles are fixed at construction, so the
+        #: projection can never go stale)
+        self._check_rates: dict[AccountId, float] = {
+            account_id: profile.check_rate
+            for account_id, profile in population.profiles.items()
+        }
         # Precomputed background-actor sampling distribution.
         self._actor_ids = list(population.account_ids)
         rates = np.array(
@@ -94,8 +130,9 @@ class OrganicActivityDriver:
         # keeps their own logins dominant over the occasional AAS login,
         # which the geolocation rule relies on (paper footnote 3).
         day = self.platform.clock.day
-        session = self._sessions.get(account_id)
-        if session is not None and self._last_login_day.get(account_id) == day:
+        entry = self._sessions.get(account_id)
+        if entry is not None and entry[1] == day:
+            session = entry[0]
             try:
                 self.platform.auth.validate(session)
                 return session
@@ -104,14 +141,11 @@ class OrganicActivityDriver:
         profile = self.population.profiles[account_id]
         account = self.platform.get_account(account_id)
         session = self.platform.login(account.username, profile.password, profile.endpoint)
-        self._sessions[account_id] = session
-        self._last_login_day[account_id] = day
+        self._sessions[account_id] = (session, day)
         return session
 
     def _perform(self, action, *args, **kwargs) -> bool:
         """Execute a platform call, tallying blocks/failures."""
-        from repro.platform.errors import ActionBlockedError, InvalidActionError
-
         try:
             action(*args, **kwargs)
             return True
@@ -126,19 +160,38 @@ class OrganicActivityDriver:
     # Reciprocity
     # ------------------------------------------------------------------
 
+    def _attractiveness(self, actor: AccountId) -> float:
+        """Fast-path ``account_attractiveness`` behind the identity memo."""
+        platform = self.platform
+        media = platform.media.media_of(actor)
+        following = platform.following_count(actor)
+        entry = self._attr_memo.get(actor)
+        if entry is not None and entry[0] is media and entry[1] == following:
+            return entry[2]
+        value = account_attractiveness(platform, actor)
+        self._attr_memo[actor] = (media, following, value)
+        return value
+
     def _process_inbox(self, account_id: AccountId) -> None:
         profile = self.population.profiles[account_id]
         notifications = self.platform.notifications.drain(account_id)
+        platform = self.platform
+        account_exists = platform.account_exists
+        respond = self.model.respond
+        propensity = profile.propensity
+        affinity = profile.follow_on_like_affinity
+        fast = self._fast
+        attractiveness_of = self._attractiveness
         for notification in notifications:
             actor = notification.actor
-            if actor == account_id or not self.platform.account_exists(actor):
+            if actor == account_id or not account_exists(actor):
                 continue
-            attractiveness = account_attractiveness(self.platform, actor)
-            intents = self.model.respond(
-                notification.action_type,
-                attractiveness,
-                profile.propensity,
-                profile.follow_on_like_affinity,
+            if fast:
+                attractiveness = attractiveness_of(actor)
+            else:
+                attractiveness = account_attractiveness(platform, actor)
+            intents = respond(
+                notification.action_type, attractiveness, propensity, affinity
             )
             for intent in intents:
                 self._execute_response(account_id, actor, intent.response_type, profile)
@@ -159,11 +212,14 @@ class OrganicActivityDriver:
             ):
                 self.reciprocal_actions += 1
         elif response_type is ActionType.LIKE:
-            media = [
-                m
-                for m in self.platform.media.media_of(actor)
-                if not self.platform.media.has_liked(m.media_id, responder)
-            ]
+            if self._fast:
+                media = self.platform.media.unliked_of(actor, responder)
+            else:
+                media = [
+                    m
+                    for m in self.platform.media.media_of(actor)
+                    if not self.platform.media.has_liked(m.media_id, responder)
+                ]
             if not media:
                 return
             choice = media[int(self._rng.integers(0, len(media)))]
@@ -177,78 +233,108 @@ class OrganicActivityDriver:
                 self.reciprocal_actions += 1
 
     def _run_reciprocity(self) -> None:
+        rates_get = self._check_rates.get
+        random = self._rng.random
+        process = self._process_inbox
         for account_id in self.platform.notifications.recipients_with_pending():
-            profile = self.population.profiles.get(account_id)
-            if profile is None:
+            rate = rates_get(account_id)
+            if rate is None:
                 continue  # not an organic account (honeypot/customer drivers handle their own)
-            if self._rng.random() < profile.check_rate:
-                self._process_inbox(account_id)
+            if random() < rate:
+                process(account_id)
 
     # ------------------------------------------------------------------
     # Background traffic
     # ------------------------------------------------------------------
 
-    def _pick_background_target(self, actor: AccountId) -> AccountId | None:
-        """An account the actor would plausibly interact with.
-
-        Background engagement stays within the organic population: the
-        paper's honeypots measured a 0.0% like-response to follows, i.e.
-        users do not spontaneously engage with the fresh, unknown
-        accounts they just followed back.
-        """
-        # following_view is sorted by contract: the follow set's
-        # hash-table iteration order is a function of its mutation
-        # history, which a snapshot/restore cycle (repro.fleet) does not
-        # preserve — the RNG-indexed pick below must see a reproducible
-        # ordering either way. The columnar graph serves the view from
-        # its cached sorted array (no copy); the reference graph sorts a
-        # fresh copy, matching the old frozenset+sorted() behaviour.
-        profiles = self.population.profiles
-        following = [
-            account
-            for account in self.platform.graph.following_view(actor)
-            if account in profiles
-        ]
-        if following and self._rng.random() < 0.7:
-            return following[int(self._rng.integers(0, len(following)))]
-        # Discovery: sample organically popular accounts.
-        for _ in range(4):
-            draw = self._rng.random()
-            index = bisect_left(self._actor_cumulative_list, draw)
-            index = min(index, len(self._actor_ids) - 1)
-            candidate = self._actor_ids[index]
-            if candidate == actor:
-                continue
-            if self.platform.follower_count(candidate) >= self.params.discovery_min_followers:
-                return candidate
-        return None
-
     def _run_background(self) -> None:
         event_count = int(self._rng.poisson(self._hourly_rate_total))
         cumulative = self._actor_cumulative_list
-        last = len(self._actor_ids) - 1
+        actor_ids = self._actor_ids
+        last = len(actor_ids) - 1
+        platform = self.platform
+        account_exists = platform.account_exists
+        profiles = self.population.profiles
+        random = self._rng.random
+        integers = self._rng.integers
+        session_for = self._session_for
+        perform = self._perform
+        like_share = self.params.background_like_share
+        fast = self._fast
+        unliked_of = platform.media.unliked_of
+        following_view = platform.graph.following_view
+        following_memo = self._following_memo
+        follower_count = platform.follower_count
+        min_followers = self.params.discovery_min_followers
         for _ in range(event_count):
-            draw = self._rng.random()
+            draw = random()
             index = min(bisect_left(cumulative, draw), last)
-            actor = self._actor_ids[index]
-            if not self.platform.account_exists(actor):
+            actor = actor_ids[index]
+            # Actors come from the population and targets from the
+            # profile-filtered following list / population discovery, and
+            # population accounts are never deleted (only honeypot
+            # accounts are, and they live outside ``profiles``), so both
+            # existence probes are vacuously true reads — the fast path
+            # skips them; the naive branch keeps them as the oracle.
+            if not fast and not account_exists(actor):
                 continue
-            target = self._pick_background_target(actor)
-            if target is None or not self.platform.account_exists(target):
+            # Target pick: an account the actor would plausibly interact
+            # with. Background engagement stays within the organic
+            # population: the paper's honeypots measured a 0.0%
+            # like-response to follows, i.e. users do not spontaneously
+            # engage with the fresh, unknown accounts they just followed
+            # back. (Folded into the event loop so its locals hoist once
+            # per tick rather than once per event.)
+            #
+            # following_view is sorted by contract: the follow set's
+            # hash-table iteration order is a function of its mutation
+            # history, which a snapshot/restore cycle (repro.fleet) does
+            # not preserve — the RNG-indexed pick below must see a
+            # reproducible ordering either way. The columnar graph serves
+            # the view from its cached sorted array (no copy); the
+            # reference graph sorts a fresh copy, matching the old
+            # frozenset+sorted() behaviour.
+            view = following_view(actor)
+            if fast:
+                entry = following_memo.get(actor)
+                if entry is not None and entry[0] is view:
+                    following = entry[1]
+                else:
+                    following = [account for account in view if account in profiles]
+                    following_memo[actor] = (view, following)
+            else:
+                following = [account for account in view if account in profiles]
+            target = None
+            if following and random() < 0.7:
+                target = following[int(integers(0, len(following)))]
+            else:
+                # Discovery: sample organically popular accounts.
+                for _attempt in range(4):
+                    pick = random()
+                    candidate = actor_ids[min(bisect_left(cumulative, pick), last)]
+                    if candidate == actor:
+                        continue
+                    if follower_count(candidate) >= min_followers:
+                        target = candidate
+                        break
+            if target is None or (not fast and not account_exists(target)):
                 continue
-            profile = self.population.profiles[actor]
-            session = self._session_for(actor)
-            if self._rng.random() < self.params.background_like_share:
-                media = [
-                    m
-                    for m in self.platform.media.media_of(target)
-                    if not self.platform.media.has_liked(m.media_id, actor)
-                ]
+            profile = profiles[actor]
+            session = session_for(actor)
+            if random() < like_share:
+                if fast:
+                    media = unliked_of(target, actor)
+                else:
+                    media = [
+                        m
+                        for m in platform.media.media_of(target)
+                        if not platform.media.has_liked(m.media_id, actor)
+                    ]
                 if not media:
                     continue
-                choice = media[int(self._rng.integers(0, len(media)))]
-                if self._perform(
-                    self.platform.like,
+                choice = media[int(integers(0, len(media)))]
+                if perform(
+                    platform.like,
                     session,
                     choice.media_id,
                     profile.endpoint,
@@ -256,10 +342,10 @@ class OrganicActivityDriver:
                 ):
                     self.background_actions += 1
             else:
-                if self.platform.graph.is_following(actor, target):
+                if platform.graph.is_following(actor, target):
                     continue
-                if self._perform(
-                    self.platform.follow,
+                if perform(
+                    platform.follow,
                     session,
                     target,
                     profile.endpoint,

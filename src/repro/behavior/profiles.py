@@ -61,6 +61,7 @@ def account_attractiveness(platform: InstagramPlatform, account_id: AccountId) -
     account = platform.get_account(account_id)
     media_count = len(platform.media.media_of(account_id))
     has_content = 1.0 if media_count >= 10 else media_count / 10.0
-    follows_others = 1.0 if platform.following_count(account_id) >= 10 else platform.following_count(account_id) / 10.0
+    following = platform.following_count(account_id)
+    follows_others = 1.0 if following >= 10 else following / 10.0
     completeness = account.profile.completeness
     return 0.25 * has_content + 0.35 * completeness + 0.40 * follows_others

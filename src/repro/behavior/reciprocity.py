@@ -86,6 +86,12 @@ class ReciprocityModel:
     def __init__(self, params: ReciprocityParams, rng: np.random.Generator):
         self.params = params
         self._rng = rng
+        #: memo of :meth:`_response_items` — a pure function of its
+        #: arguments (``params`` is frozen), so caching is exact. Keys
+        #: repeat heavily: attractiveness saturates (profile completeness
+        #: is discrete, content/following contributions cap at 10) and
+        #: propensity/affinity are per-profile constants.
+        self._items_memo: dict[tuple, tuple] = {}
 
     def _attractiveness_gain(self, attractiveness: float, full_gain: float) -> float:
         """Interpolate the lived-in gain along the attractiveness scale."""
@@ -128,6 +134,40 @@ class ReciprocityModel:
             raw = {}
         return {k: min(v, 1.0) for k, v in raw.items() if v > 0.0}
 
+    def _response_items(
+        self,
+        inbound_type: ActionType,
+        actor_attractiveness: float,
+        recipient_propensity: float,
+        follow_on_like_affinity: float,
+    ) -> tuple[tuple[ActionType, float], ...]:
+        """:meth:`response_probabilities` as a memoized item tuple.
+
+        Same values in the same (insertion) order the dict would yield —
+        the order :meth:`respond` draws in, so the memo cannot perturb
+        the RNG sequence.
+        """
+        # keyed on the dense column code rather than the enum member:
+        # tuple hashing then costs three float hashes and an int hash
+        # instead of entering Enum.__hash__ (a Python-level call) per probe
+        key = (
+            inbound_type.col_code,
+            actor_attractiveness,
+            recipient_propensity,
+            follow_on_like_affinity,
+        )
+        items = self._items_memo.get(key)
+        if items is None:
+            items = self._items_memo[key] = tuple(
+                self.response_probabilities(
+                    inbound_type,
+                    actor_attractiveness,
+                    recipient_propensity,
+                    follow_on_like_affinity,
+                ).items()
+            )
+        return items
+
     def respond(
         self,
         inbound_type: ActionType,
@@ -136,11 +176,14 @@ class ReciprocityModel:
         follow_on_like_affinity: float = 1.0,
     ) -> list[ResponseIntent]:
         """Sample the recipient's reciprocal actions for one notification."""
-        probabilities = self.response_probabilities(
+        items = self._response_items(
             inbound_type, actor_attractiveness, recipient_propensity, follow_on_like_affinity
         )
-        intents = []
-        for response_type, probability in probabilities.items():
-            if self._rng.random() < probability:
-                intents.append(ResponseIntent(response_type=response_type))
-        return intents
+        random = self._rng.random
+        # listcomp draws left-to-right over the memoized items — the same
+        # one-draw-per-candidate order as an explicit loop
+        return [
+            ResponseIntent(response_type=response_type)
+            for response_type, probability in items
+            if random() < probability
+        ]

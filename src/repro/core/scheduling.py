@@ -28,7 +28,7 @@ from __future__ import annotations
 
 from bisect import insort
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, ContextManager, Optional
 
 from repro.obs import NULL_OBS, Observability
 
@@ -49,7 +49,18 @@ class _Agent:
 class TimingWheel:
     """Exact-tick buckets of agents, visited once per simulated hour."""
 
-    def __init__(self, obs: Optional[Observability] = None):
+    def __init__(
+        self,
+        obs: Optional[Observability] = None,
+        run_scope: Optional[Callable[[], ContextManager]] = None,
+    ):
+        #: optional context-manager factory entered around each agent run
+        #: — the study passes :meth:`InstagramPlatform.action_batch`, so
+        #: the batch boundary is exactly one actor-tick (DESIGN.md §15).
+        #: The scope must be transparent to the agent: actions inside it
+        #: observe identical platform state, and deferred work is flushed
+        #: on exit, before the next agent runs.
+        self._run_scope = run_scope
         self._agents: list[_Agent] = []
         self._by_name: dict[str, _Agent] = {}
         self._buckets: dict[int, list[_Agent]] = {}
@@ -119,10 +130,15 @@ class TimingWheel:
             self._obs_idle.inc()
             return 0
         self._obs_due.observe(len(due))
+        scope = self._run_scope
         for agent in due:
             agent.scheduled_at = None
             self._obs_runs.inc()
-            agent.run()
+            if scope is None:
+                agent.run()
+            else:
+                with scope():
+                    agent.run()
             if agent.scheduled_at is not None:
                 continue  # the run itself woke the agent (re-entrant wake)
             wake = now + 1 if agent.next_wake is None else agent.next_wake(now)

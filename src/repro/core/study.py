@@ -349,7 +349,7 @@ class Study:
         fast path runs agents in exactly the order :meth:`tick`'s
         reference loop would — a prerequisite for bit-identical results.
         """
-        wheel = TimingWheel(obs=self.obs)
+        wheel = TimingWheel(obs=self.obs, run_scope=self.platform.action_batch)
         for name, driver in self.clientele.items():
             wheel.add(f"clientele:{name}", driver.tick, driver.next_wake_tick)
         wheel.add(

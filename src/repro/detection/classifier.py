@@ -39,6 +39,7 @@ from repro.aas.base import ServiceType
 from repro.detection.signals import ServiceSignature
 from repro.obs import NULL_OBS, Observability
 from repro.platform.actions import ActionLog
+from repro.platform.columns import ActionView
 from repro.platform.models import AccountId, ActionRecord, ActionStatus
 
 
@@ -185,7 +186,7 @@ class AASClassifier:
         self._stream_ordered = True
         for record in log:
             self._observe(record)
-        log.add_observer(self._observe)
+        log.add_observer(self._observe, batch=self._observe_batch)
 
     def detach(self) -> None:
         """Stop observing; subsequent sweeps fall back to cold paths."""
@@ -231,6 +232,51 @@ class AASClassifier:
             self._stream_ordered = False  # out-of-order append: bisect invalid
         records.append(record)
         ticks.append(tick)
+
+    def _observe_batch(self, cols, start: int, end: int) -> None:
+        """Bulk ingestion for :meth:`ActionLog.append_batch` row ranges.
+
+        Exactly ``end - start`` :meth:`_observe` calls' worth of state
+        and telemetry (memo hits are accumulated and charged once), but
+        with the memo dict, columns, and — since batches are dominated
+        by single-service bursts — the per-service stream lists resolved
+        outside the per-row loop.
+        """
+        eid_memo = self._eid_memo
+        endpoint_ids = cols.endpoint_ids
+        col_ticks = cols.ticks
+        benign = (self._benign_records, self._benign_ticks)
+        stream_records = self._stream_records
+        stream_ticks = self._stream_ticks
+        last_service: object = _UNSEEN
+        records: list = benign[0]
+        ticks: list = benign[1]
+        last_tick = None
+        memo_hits = 0
+        for row in range(start, end):
+            record = ActionView(cols, row)
+            service = eid_memo.get(endpoint_ids[row], _UNSEEN)
+            if service is _UNSEEN:
+                service = eid_memo[endpoint_ids[row]] = self.attribute(record)
+            else:
+                memo_hits += 1
+            if service is not last_service:
+                last_service = service
+                if service is None:
+                    records, ticks = benign
+                else:
+                    records, ticks = stream_records[service], stream_ticks[service]
+                # re-read the stream's tail once per run of same-service
+                # rows; within the run the previous row's tick is local
+                last_tick = ticks[-1] if ticks else None
+            tick = col_ticks[row]
+            if last_tick is not None and tick < last_tick:
+                self._stream_ordered = False
+            last_tick = tick
+            records.append(record)
+            ticks.append(tick)
+        if memo_hits:
+            self._obs_memo_hit.add(memo_hits)
 
     def _streaming_for(self, records: Iterable[ActionRecord]) -> bool:
         return self._log is not None and records is self._log and self._stream_ordered

@@ -43,6 +43,15 @@ COST_ATTRS = (COST_TOTAL_ATTR, COST_SELF_ATTR)
 #: order everywhere downstream (cost dicts, flamegraph columns).
 COST_KINDS: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
     ("rng", ("util.rng.",)),
+    # "log_batch" counts rows routed through ActionLog.append_batch. It
+    # must precede the "log" prefix entry: the counter lives under the
+    # platform.actionlog namespace, and first-match order is what keeps
+    # it out of the "log" bucket. Rows appended via a batch still charge
+    # the ordinary per-row "log" units (appends/column_appends), so the
+    # "log" kind is identical whether batching is on or off; "log_batch"
+    # measures the batching machinery itself and — like "sched", which
+    # only the wheel emits — is zero when the feature is off.
+    ("log_batch", ("platform.actionlog.batch_rows",)),
     ("log", ("platform.actionlog.",)),
     ("graph", ("platform.graph.",)),
     ("classifier", ("detection.classifier.comparisons", "detection.classifier.memo")),

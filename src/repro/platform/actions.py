@@ -63,6 +63,13 @@ SignatureKey = tuple[int, ActionType, str]
 #: flyweights in columnar mode — field-compatible by construction
 StoredAction = Union[ActionRecord, ActionView]
 
+#: one pending batch row — the positional argument list of
+#: :meth:`ActionLog.log_action` as a tuple
+BatchRow = tuple
+
+#: decode table for reading type codes back out of the columns
+_TYPE_BY_CODE: tuple[ActionType, ...] = tuple(ActionType)
+
 
 def _window(
     ticks, start_tick: Optional[int], end_tick: Optional[int]
@@ -83,7 +90,17 @@ class ActionLog:
         #: back to a linear scan (out-of-order log) — the index hit rate
         self._obs_query_index = _obs.counter("platform.actionlog.window_query", path="index")
         self._obs_query_scan = _obs.counter("platform.actionlog.window_query", path="scan")
+        #: rows routed through :meth:`append_batch` — the "log_batch"
+        #: cost kind (DESIGN.md §15). A pre-bound handle: the flush loop
+        #: charges it once per batch with ``add(n)``.
+        self._obs_batch_rows = _obs.bound_counter("platform.actionlog.batch_rows")
+        #: rows per flush; the mean is the batch amortization ratio the
+        #: bench payloads report (histograms are never cost-classified,
+        #: so per-flush telemetry cannot leak into the cost tree)
+        self._obs_batch_fill = _obs.histogram("platform.actionlog.batch_fill")
         self._observers: list[Callable[[StoredAction], None]] = []
+        #: scalar observer -> its bulk implementation, when it has one
+        self._batch_impls: dict[Callable[[StoredAction], None], Callable] = {}
         self._monotonic = True
         self._columnar = columnar
         if columnar:
@@ -204,6 +221,116 @@ class ActionLog:
         for observer in self._observers:
             observer(record)
 
+    def append_batch(self, rows: list) -> int:
+        """Append many actions in one call; returns the first action id.
+
+        ``rows`` holds :meth:`log_action` argument tuples
+        ``(action_type, actor, tick, endpoint, api, status,
+        target_account, target_media, comment_text)``. Semantically this
+        is exactly ``for row in rows: log_action(*row)`` — same records,
+        same indices, same observer ingestion order, same "log" cost
+        units — and in reference mode it *is* that loop (the oracle the
+        batch property suite replays against). Columnar mode takes the
+        amortized path: one :meth:`ActionColumns.push_batch`, index
+        updates with locals hoisted out of the loop, counters charged
+        once per batch, and observers offered the whole row range
+        (batch-capable observers consume it in bulk; plain observers
+        still see one view per row).
+        """
+        if not rows:
+            return len(self)
+        if not self._columnar:
+            start = len(self._records)
+            for row in rows:
+                self.log_action(*row)
+            return start
+        cols = self._cols
+        ticks = cols.ticks
+        prev_tick = ticks[-1] if ticks else None
+        start = cols.push_batch(rows)
+        by_actor = self._by_actor
+        by_actor_ticks = self._by_actor_ticks
+        by_target = self._by_target
+        by_target_ticks = self._by_target_ticks
+        sig_fast = self._sig_fast
+        endpoint_ids = cols.endpoint_ids
+        monotonic = self._monotonic
+        # One pass over the original row tuples — cheaper than re-reading
+        # the freshly pushed columns — folding the monotonic check into
+        # the index walk. Run-length memos keyed by *object identity*
+        # (the interner guarantees one id per endpoint object, and enum
+        # members are singletons) skip the per-row dict probes when
+        # consecutive rows share an actor or an (endpoint, type) pair —
+        # the common shape for AAS delivery bursts.
+        last_actor = last_target = last_endpoint = last_type = None
+        a_ids = a_ticks = t_ids = t_ticks = bucket = None
+        i = start
+        for row in rows:
+            action_type = row[0]
+            actor = row[1]
+            tick = row[2]
+            if monotonic and prev_tick is not None and tick < prev_tick:
+                monotonic = False
+            prev_tick = tick
+            if actor != last_actor:
+                last_actor = actor
+                a_ids = by_actor.get(actor)
+                if a_ids is None:
+                    a_ids = by_actor[actor] = array("q")
+                    by_actor_ticks[actor] = array("q")
+                a_ticks = by_actor_ticks[actor]
+            a_ids.append(i)
+            a_ticks.append(tick)
+            target = row[6]
+            if target is not None:
+                if target != last_target:
+                    last_target = target
+                    t_ids = by_target.get(target)
+                    if t_ids is None:
+                        t_ids = by_target[target] = array("q")
+                        by_target_ticks[target] = array("q")
+                    t_ticks = by_target_ticks[target]
+                t_ids.append(i)
+                t_ticks.append(tick)
+            endpoint = row[3]
+            if endpoint is not last_endpoint or action_type is not last_type:
+                last_endpoint = endpoint
+                last_type = action_type
+                fast_key = endpoint_ids[i] * N_ACTION_TYPES + action_type.col_code
+                bucket = sig_fast.get(fast_key)
+                if bucket is None:
+                    key = (endpoint.asn, action_type, endpoint.fingerprint.variant)
+                    sig = self._sig_ids.get(key)
+                    if sig is None:
+                        sig = len(self._sig_keys)
+                        self._sig_ids[key] = sig
+                        self._sig_keys.append(key)
+                        self._by_signature[sig] = array("q")
+                        self._by_signature_ticks[sig] = array("q")
+                    bucket = sig_fast[fast_key] = (
+                        self._by_signature[sig],
+                        self._by_signature_ticks[sig],
+                    )
+            bucket[0].append(i)
+            bucket[1].append(tick)
+            i += 1
+        self._monotonic = monotonic
+        end = i
+        count = end - start
+        self._obs_appends.add(count)
+        self._obs_batch_rows.add(count)
+        self._obs_batch_fill.observe(count)
+        if self._observers:
+            batch_impls = self._batch_impls
+            for observer in self._observers:
+                bulk = batch_impls.get(observer)
+                if bulk is not None:
+                    bulk(cols, start, end)
+                else:
+                    for i in range(start, end):
+                        observer(ActionView(cols, i))
+        return start
+
     def _push(
         self,
         action_type: ActionType,
@@ -290,18 +417,29 @@ class ActionLog:
     # Observers (streaming consumers, e.g. incremental attribution)
     # ------------------------------------------------------------------
 
-    def add_observer(self, observer: Callable[[StoredAction], None]) -> None:
+    def add_observer(
+        self,
+        observer: Callable[[StoredAction], None],
+        batch: Optional[Callable[[ActionColumns, int, int], None]] = None,
+    ) -> None:
         """Call ``observer(record)`` after every future append.
 
         Observers see records already indexed; they must not append to
-        the log themselves.
+        the log themselves. ``batch`` optionally registers a bulk
+        implementation ``batch(cols, start, end)`` used in place of the
+        per-row callable whenever rows arrive via :meth:`append_batch` —
+        it must ingest rows ``[start, end)`` exactly as ``end - start``
+        scalar calls would (the streaming classifier's contract).
         """
         if observer not in self._observers:
             self._observers.append(observer)
+        if batch is not None:
+            self._batch_impls[observer] = batch
 
     def remove_observer(self, observer: Callable[[StoredAction], None]) -> None:
         if observer in self._observers:
             self._observers.remove(observer)
+        self._batch_impls.pop(observer, None)
 
     # ------------------------------------------------------------------
     # Window queries (bisect fast path)

@@ -74,6 +74,16 @@ class CountermeasureEngine:
     def clear_policies(self) -> None:
         self._policies.clear()
 
+    @property
+    def has_policies(self) -> bool:
+        """Whether any policy is registered.
+
+        With none, :meth:`decide` is vacuously ALLOW for every context —
+        the invariant the platform's batch scope relies on to skip
+        building :class:`ActionContext` objects per action.
+        """
+        return bool(self._policies)
+
     def decide(self, context: ActionContext) -> CountermeasureDecision:
         """Strictest decision across all policies (ALLOW if none)."""
         decision = CountermeasureDecision.ALLOW

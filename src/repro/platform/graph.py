@@ -280,6 +280,18 @@ class FollowerGraph:
             return False
         return row is not None and dst in row
 
+    def out_rows(self) -> list:
+        """Read-only peek at the raw out-edge rows, indexed by account id.
+
+        ``out_rows()[src]`` is the dict whose keys ``src`` follows (or
+        ``None``/out-of-range for accounts with no out-edges), so
+        ``dst in row`` answers :meth:`is_following` without the method
+        call — the AAS follow-scan probes this ~10^6 times per run. The
+        list is the live storage (mutated in place, identity stable
+        across follows); callers must never write through it.
+        """
+        return self._out
+
     def following(self, account: AccountId) -> frozenset[AccountId]:
         """Accounts that ``account`` follows (an immutable snapshot)."""
         row = self._out[account] if account < len(self._out) else None

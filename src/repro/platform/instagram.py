@@ -10,7 +10,8 @@ spoofing semantics.
 from __future__ import annotations
 
 import itertools
-from typing import Optional
+from contextlib import contextmanager
+from typing import Iterator, Optional
 
 from repro.netsim.client import ClientEndpoint
 from repro.obs import NULL_OBS, Observability
@@ -44,6 +45,22 @@ from repro.platform.notifications import Notification, NotificationCenter
 from repro.util.timeutils import days
 
 
+class _PendingBatch:
+    """Deferred log rows for one open action-batch scope.
+
+    ``base`` is the log length at scope entry (or after the last
+    intra-scope flush): pending row *i* will become action id
+    ``base + i``, which is how the facade hands out final action ids —
+    for notifications, e.g. — before the rows are written.
+    """
+
+    __slots__ = ("base", "rows")
+
+    def __init__(self, base: int):
+        self.base = base
+        self.rows: list[tuple] = []
+
+
 class InstagramPlatform:
     """The simulated social network."""
 
@@ -71,6 +88,11 @@ class InstagramPlatform:
         self.log = ActionLog(obs=self.obs, columnar=fast_path)
         self.notifications = NotificationCenter()
         self.countermeasures = CountermeasureEngine(self.clock, removal_delay_ticks)
+        #: whether :meth:`action_batch` scopes actually defer (DESIGN.md
+        #: §15). On by default on the fast path; the equivalence suite
+        #: toggles it off to prove batching changes nothing.
+        self.batching = fast_path
+        self._batch: Optional[_PendingBatch] = None
         self._accounts: dict[AccountId, Account] = {}
         self._by_username: dict[str, AccountId] = {}
         self._account_ids = itertools.count(1)
@@ -144,6 +166,59 @@ class InstagramPlatform:
         self.auth.reset_password(account_id, new_password)
 
     # ------------------------------------------------------------------
+    # Action batching (DESIGN.md §15)
+    # ------------------------------------------------------------------
+
+    @contextmanager
+    def action_batch(self) -> Iterator[None]:
+        """Open one actor-tick's batch scope.
+
+        Inside the scope, delivered like/follow actions apply their
+        platform mutations (graph edges, media likes, notifications)
+        immediately — later actions in the same scope depend on them —
+        but their log rows accumulate and land in one
+        :meth:`ActionLog.append_batch` at scope exit, in exact submission
+        order with the same action ids the per-action path would have
+        assigned.
+
+        The scope only defers when it can do so invisibly: batching must
+        be enabled, the log columnar, and no countermeasure policy
+        installed (policies need per-action contexts, BLOCK rows, and
+        removal scheduling — the scalar path). Otherwise, and when
+        nested inside an open scope, this is a no-op context. Policies
+        are only ever (un)installed between agent runs, so the entry
+        check cannot go stale mid-scope.
+        """
+        if (
+            self._batch is not None
+            or not self.batching
+            or self.countermeasures.has_policies
+            or not self.log.columnar
+        ):
+            yield
+            return
+        batch = self._batch = _PendingBatch(self.log.next_id())
+        try:
+            yield
+        finally:
+            self._batch = None
+            if batch.rows:
+                self.log.append_batch(batch.rows)
+
+    def _flush_batch(self) -> None:
+        """Write pending rows out mid-scope, preserving log order.
+
+        Called by the action paths that do not defer (unfollow, comment,
+        post, and any path needing a materialized record): their scalar
+        append must not overtake rows already submitted in this scope.
+        """
+        batch = self._batch
+        if batch is not None and batch.rows:
+            self.log.append_batch(batch.rows)
+            batch.rows = []
+            batch.base = self.log.next_id()
+
+    # ------------------------------------------------------------------
     # Social actions
     # ------------------------------------------------------------------
 
@@ -184,6 +259,12 @@ class InstagramPlatform:
         target_account: Optional[AccountId],
         target_media: Optional[MediaId],
     ) -> CountermeasureDecision:
+        if self.fast_path and not self.countermeasures.has_policies:
+            # with no policy installed every decision is vacuously ALLOW
+            # (and decide() is side-effect free), so the fast path skips
+            # building the frozen per-action context; the naive path
+            # keeps exercising the full decision machinery as the oracle
+            return CountermeasureDecision.ALLOW
         context = ActionContext(
             actor=actor,
             action_type=action_type,
@@ -227,6 +308,45 @@ class InstagramPlatform:
         api: ApiSurface = ApiSurface.PRIVATE_MOBILE,
     ) -> ActionRecord:
         """Like a media item; notifies the owner."""
+        batch = self._batch
+        if batch is not None:
+            # batched fast path: same checks and mutations in the same
+            # order (validate, account/media lookups, dup-like reject,
+            # vacuous ALLOW, like, notify) with the log row deferred
+            actor = self.auth.validate(session)
+            account = self._accounts.get(actor)
+            if account is None or account.is_deleted:
+                raise UnknownAccountError(f"account {actor} not found")
+            media = self.media.like_new(media_id, actor)
+            owner = media.owner
+            rows = batch.rows
+            action_id = batch.base + len(rows)
+            tick = self.clock.now
+            rows.append(
+                (
+                    ActionType.LIKE,
+                    actor,
+                    tick,
+                    endpoint,
+                    api,
+                    ActionStatus.DELIVERED,
+                    owner,
+                    media_id,
+                    None,
+                )
+            )
+            if owner != actor:
+                self.notifications.push(
+                    Notification(
+                        recipient=owner,
+                        actor=actor,
+                        action_type=ActionType.LIKE,
+                        tick=tick,
+                        media_id=media_id,
+                        action_id=action_id,
+                    )
+                )
+            return None
         actor = self._authorize(session)
         media = self.media.get(media_id)
         if self.media.has_liked(media_id, actor):
@@ -258,6 +378,46 @@ class InstagramPlatform:
         api: ApiSurface = ApiSurface.PRIVATE_MOBILE,
     ) -> ActionRecord:
         """Follow another account; notifies the target."""
+        batch = self._batch
+        if batch is not None:
+            actor = self.auth.validate(session)
+            accounts = self._accounts
+            account = accounts.get(actor)
+            if account is None or account.is_deleted:
+                raise UnknownAccountError(f"account {actor} not found")
+            target_account = accounts.get(target)
+            if target_account is None or target_account.is_deleted:
+                raise UnknownAccountError(f"account {target} not found")
+            if self.graph.is_following(actor, target):
+                raise InvalidActionError(f"{actor} already follows {target}")
+            self.graph.follow(actor, target)
+            rows = batch.rows
+            action_id = batch.base + len(rows)
+            tick = self.clock.now
+            rows.append(
+                (
+                    ActionType.FOLLOW,
+                    actor,
+                    tick,
+                    endpoint,
+                    api,
+                    ActionStatus.DELIVERED,
+                    target,
+                    None,
+                    None,
+                )
+            )
+            self.notifications.push(
+                Notification(
+                    recipient=target,
+                    actor=actor,
+                    action_type=ActionType.FOLLOW,
+                    tick=tick,
+                    media_id=None,
+                    action_id=action_id,
+                )
+            )
+            return None
         actor = self._authorize(session)
         self.get_account(target)
         if self.graph.is_following(actor, target):
@@ -287,6 +447,8 @@ class InstagramPlatform:
         api: ApiSurface = ApiSurface.PRIVATE_MOBILE,
     ) -> ActionRecord:
         """Withdraw a follow. No notification (Instagram is silent here)."""
+        if self._batch is not None:
+            self._flush_batch()  # scalar append must not overtake the scope
         actor = self._authorize(session)
         if not self.graph.is_following(actor, target):
             raise InvalidActionError(f"{actor} does not follow {target}")
@@ -310,6 +472,8 @@ class InstagramPlatform:
         api: ApiSurface = ApiSurface.PRIVATE_MOBILE,
     ) -> ActionRecord:
         """Comment on a media item; notifies the owner."""
+        if self._batch is not None:
+            self._flush_batch()  # scalar append must not overtake the scope
         actor = self._authorize(session)
         media = self.media.get(media_id)
         if not text:
@@ -341,6 +505,8 @@ class InstagramPlatform:
         api: ApiSurface = ApiSurface.PRIVATE_MOBILE,
     ) -> tuple[ActionRecord, Media]:
         """Publish a new media item."""
+        if self._batch is not None:
+            self._flush_batch()  # scalar append must not overtake the scope
         actor = self._authorize(session)
         self._consult_countermeasures(ActionType.POST, actor, endpoint, api, None, None)
         media = self.media.create(actor, self.clock.now, caption=caption, hashtags=hashtags)

@@ -34,26 +34,67 @@ class Interner(Generic[T]):
     list, so decoding an id back to its value is one index.
     """
 
-    __slots__ = ("_ids", "_values", "_obs_hits", "_obs_misses")
+    __slots__ = ("_ids", "_values", "_id_memo", "_obs_hits", "_obs_misses")
 
     def __init__(self, obs: Optional[Observability] = None, name: str = "interner"):
         _obs = obs if obs is not None else NULL_OBS
         self._ids: dict[T, int] = {}
         self._values: list[T] = []
+        #: identity-keyed overlay: ``id(value) -> (value, id)``. Interned
+        #: values are frozen dataclasses whose generated ``__hash__``
+        #: re-hashes every field on each probe; the overlay resolves a
+        #: repeat sighting of the *same object* with one int-keyed get.
+        #: Entries hold a strong reference, so a memoized ``id()`` can
+        #: never be recycled by another object. Process-local by nature —
+        #: dropped from pickles and rebuilt lazily after restore.
+        self._id_memo: dict[int, tuple[T, int]] = {}
         self._obs_hits = _obs.counter("platform.intern.lookups", table=name, path="hit")
         self._obs_misses = _obs.counter("platform.intern.lookups", table=name, path="miss")
 
     def intern(self, value: T) -> int:
         """The dense id for ``value``, allocating on first sight."""
+        entry = self._id_memo.get(id(value))
+        if entry is not None and entry[0] is value:
+            self._obs_hits.inc()
+            return entry[1]
         ident = self._ids.get(value)
         if ident is not None:
             self._obs_hits.inc()
-            return ident
-        ident = len(self._values)
-        self._ids[value] = ident
-        self._values.append(value)
-        self._obs_misses.inc()
+        else:
+            ident = len(self._values)
+            self._ids[value] = ident
+            self._values.append(value)
+            self._obs_misses.inc()
+        self._id_memo[id(value)] = (value, ident)
         return ident
+
+    def note_memoized_hits(self, count: int) -> None:
+        """Count ``count`` probes a caller short-circuited by identity memo.
+
+        The batch append path (:meth:`ActionColumns.push_batch`) skips
+        ``intern()`` when consecutive rows carry the *same* endpoint
+        object. A value eligible for that memo was necessarily interned
+        already, so each skipped probe would have been a hit — charging
+        them here keeps the hit/miss series byte-identical to the
+        per-call path (the batch-toggle equivalence relies on it).
+        """
+        if count:
+            self._obs_hits.inc(count)
+
+    def __getstate__(self) -> dict:
+        # the identity overlay is keyed by process-local id() values;
+        # drop it and let the restored interner rebuild it lazily
+        return {
+            "_ids": self._ids,
+            "_values": self._values,
+            "_obs_hits": self._obs_hits,
+            "_obs_misses": self._obs_misses,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        for slot, value in state.items():
+            setattr(self, slot, value)
+        self._id_memo = {}
 
     def lookup(self, value: T) -> Optional[int]:
         """The id for ``value`` if already interned, else ``None``."""

@@ -36,6 +36,14 @@ class MediaStore:
         self._posting_cache: dict[str, set[AccountId]] | None = (
             {} if cache_owner_views else None
         )
+        #: fast-path-only memo pairing each of an owner's live media with
+        #: its (live, mutated-in-place) likers set, validated by identity
+        #: of the cached ``media_of`` list. Likes and unlikes mutate the
+        #: referenced sets directly, so entries stay correct until the
+        #: media list itself is rebuilt.
+        self._pairs_cache: (
+            dict[AccountId, tuple[object, list[tuple[Media, set[AccountId]]]]] | None
+        ) = {} if cache_owner_views else None
 
     def create(self, owner: AccountId, tick: int, caption: str = "", hashtags: tuple[str, ...] = ()) -> Media:
         media = Media(
@@ -98,6 +106,45 @@ class MediaStore:
         if liker in self._likers[media_id]:
             raise InvalidActionError(f"{liker} already likes media {media_id}")
         self._likers[media_id].add(liker)
+
+    def like_new(self, media_id: MediaId, liker: AccountId) -> Media:
+        """Fetch, validate, and record a like in one call.
+
+        The batch pipeline's fused spelling of ``get`` + ``has_liked`` +
+        ``like``: same lookups, same :class:`InvalidActionError` on a
+        double-like, one method call instead of three (and no repeat
+        ``get``). Returns the media so the caller can read the owner.
+        """
+        media = self.get(media_id)
+        likers = self._likers[media_id]
+        if liker in likers:
+            raise InvalidActionError(f"{liker} already likes media {media_id}")
+        likers.add(liker)
+        return media
+
+    def unliked_of(self, owner: AccountId, liker: AccountId) -> list[Media]:
+        """Live media of ``owner`` that ``liker`` has not liked.
+
+        Equivalent to filtering :meth:`media_of` through
+        :meth:`has_liked` — the organic response/background loops' media
+        pick — with the per-media method call replaced by a set probe
+        (and, when owner views are cached, the per-media likers-dict
+        lookup memoized in ``_pairs_cache``). Always builds a fresh
+        list; safe to index into.
+        """
+        pairs_cache = self._pairs_cache
+        if pairs_cache is None:
+            likers = self._likers
+            return [m for m in self.media_of(owner) if liker not in likers[m.media_id]]
+        media = self.media_of(owner)
+        entry = pairs_cache.get(owner)
+        if entry is not None and entry[0] is media:
+            pairs = entry[1]
+        else:
+            likers = self._likers
+            pairs = [(m, likers[m.media_id]) for m in media]
+            pairs_cache[owner] = (media, pairs)
+        return [m for m, liked_by in pairs if liker not in liked_by]
 
     def unlike(self, media_id: MediaId, liker: AccountId) -> None:
         """Withdraw a like (used by delayed removal of like actions)."""

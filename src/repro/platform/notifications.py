@@ -10,15 +10,20 @@ notifications, and the organic behaviour model consumes them.
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass
-from typing import Optional
+from typing import NamedTuple, Optional
 
 from repro.platform.models import AccountId, ActionType, MediaId
 
 
-@dataclass(frozen=True, slots=True)
-class Notification:
-    """One inbound-action notification delivered to a recipient."""
+class Notification(NamedTuple):
+    """One inbound-action notification delivered to a recipient.
+
+    A ``NamedTuple`` rather than a frozen dataclass: notifications are
+    constructed once per delivered action (the per-action hot path), and
+    tuple construction skips the frozen-dataclass ``__init__`` +
+    ``object.__setattr__`` overhead while keeping the same field access
+    and value-equality semantics.
+    """
 
     recipient: AccountId
     actor: AccountId
@@ -42,6 +47,20 @@ class NotificationCenter:
     def push(self, notification: Notification) -> None:
         self._inbox[notification.recipient].append(notification)
         self._delivered_total += 1
+
+    def push_batch(self, notifications: list[Notification]) -> None:
+        """Deliver many notifications in one call, in list order.
+
+        Identical inbox state to pushing each item: per-recipient
+        ordering and — load-bearing for determinism — *inbox key
+        insertion order* are both preserved, because
+        :meth:`recipients_with_pending` iteration order feeds the
+        organic reciprocity loop's RNG draw sequence.
+        """
+        inbox = self._inbox
+        for notification in notifications:
+            inbox[notification.recipient].append(notification)
+        self._delivered_total += len(notifications)
 
     def pending(self, recipient: AccountId) -> list[Notification]:
         """Peek at pending notifications without consuming them."""
